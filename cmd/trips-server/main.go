@@ -1,0 +1,250 @@
+// Command trips-server serves the TRIPS Viewer in a web browser — the demo
+// deployment of the paper ("The audience can interact with TRIPS in a web
+// browser"). It translates a dataset at startup and serves, per device, the
+// interactive map view and timeline (Figs. 4–6): floor switching, source
+// visibility toggles, and timeline-driven selection.
+//
+// Usage:
+//
+//	trips-server -demo                   # self-generated mall dataset
+//	trips-server -dsm mall.json -data raw.csv -events events.json
+//	trips-server -addr :8765 -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"trips/internal/config"
+	"trips/internal/core"
+	"trips/internal/dsm"
+	"trips/internal/events"
+	"trips/internal/position"
+	"trips/internal/simul"
+	"trips/internal/viewer"
+)
+
+type server struct {
+	model   *dsm.Model
+	results map[position.DeviceID]core.Result
+	truths  map[position.DeviceID]simul.Truth
+	devices []position.DeviceID
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trips-server: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8765", "listen address")
+		demo       = flag.Bool("demo", false, "self-generate a demo mall dataset")
+		dsmPath    = flag.String("dsm", "", "DSM JSON path")
+		dataPath   = flag.String("data", "", "positioning dataset")
+		eventsPath = flag.String("events", "", "Event Editor state")
+	)
+	flag.Parse()
+
+	s, err := load(*demo, *dsmPath, *dataPath, *eventsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/device/", s.handleDevice)
+	log.Printf("serving %d devices on http://%s/", len(s.devices), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func load(demo bool, dsmPath, dataPath, eventsPath string) (*server, error) {
+	var (
+		model  *dsm.Model
+		ds     *position.Dataset
+		ed     *events.Editor
+		truths map[position.DeviceID]simul.Truth
+		err    error
+	)
+	if demo {
+		model, err = simul.BuildMall(simul.MallSpec{Floors: 3, ShopsPerFloor: 6})
+		if err != nil {
+			return nil, err
+		}
+		sim := simul.NewSim(model, 42)
+		start := time.Date(2017, 1, 1, 10, 0, 0, 0, time.UTC)
+		ds, truths, err = sim.Population(12, start, 4*time.Hour, simul.DefaultErrorModel())
+		if err != nil {
+			return nil, err
+		}
+		ed = events.NewEditor()
+		for ev, list := range simul.TrainingSegments(ds, truths, 30) {
+			for _, recs := range list {
+				if err := ed.AddSegment(events.LabeledSegment{Event: ev, Device: recs[0].Device, Records: recs}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		if dsmPath == "" || dataPath == "" || eventsPath == "" {
+			return nil, fmt.Errorf("need -demo or all of -dsm/-data/-events")
+		}
+		if model, err = dsm.Load(dsmPath); err != nil {
+			return nil, err
+		}
+		if ds, err = position.LoadFile(dataPath); err != nil {
+			return nil, err
+		}
+		if ed, err = events.Load(eventsPath); err != nil {
+			return nil, err
+		}
+	}
+	em, err := core.TrainEventModel(ed.TrainingSet(), config.AnnotatorConfig{})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.NewTranslator(model, em, config.CleanerConfig{}, config.AnnotatorConfig{}, config.ComplementorConfig{})
+	if err != nil {
+		return nil, err
+	}
+	s := &server{model: model, results: make(map[position.DeviceID]core.Result), truths: truths}
+	for _, r := range tr.Translate(ds) {
+		s.results[r.Device] = r
+		s.devices = append(s.devices, r.Device)
+	}
+	sort.Slice(s.devices, func(i, j int) bool { return s.devices[i] < s.devices[j] })
+	return s, nil
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>TRIPS</title></head><body>
+<h1>TRIPS — Translation Results</h1>
+<table border="1" cellpadding="4">
+<tr><th>device</th><th>records</th><th>repairs</th><th>triplets</th><th>inferred</th><th>rec/triplet</th></tr>
+{{range .Rows}}<tr>
+<td><a href="/device/{{.Device}}">{{.Device}}</a></td>
+<td>{{.Records}}</td><td>{{.Repairs}}</td><td>{{.Triplets}}</td>
+<td>{{.Inferred}}</td><td>{{printf "%.1f" .Ratio}}</td>
+</tr>{{end}}
+</table></body></html>`))
+
+type indexRow struct {
+	Device   position.DeviceID
+	Records  int
+	Repairs  int
+	Triplets int
+	Inferred int
+	Ratio    float64
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var rows []indexRow
+	for _, dev := range s.devices {
+		res := s.results[dev]
+		rows = append(rows, indexRow{dev, res.Raw.Len(), res.Clean.Modified(),
+			res.Final.Len(), res.Inserted, res.Conciseness.RecordsPerTriplet})
+	}
+	if err := indexTmpl.Execute(w, map[string]interface{}{"Rows": rows}); err != nil {
+		log.Print(err)
+	}
+}
+
+var deviceTmpl = template.Must(template.New("device").Parse(`<!DOCTYPE html>
+<html><head><title>TRIPS — {{.Device}}</title></head><body>
+<p><a href="/">&larr; devices</a></p>
+<h1>{{.Device}}</h1>
+<p>floors:
+{{range .Floors}} <a href="?floor={{.}}&hide={{$.HideParam}}">{{.}}</a>{{end}}
+&nbsp; toggle:
+{{range .Toggles}} <a href="?floor={{$.Floor}}&hide={{.Param}}">{{.Label}}</a>{{end}}
+</p>
+<div>{{.MapSVG}}</div>
+<h2>Timeline</h2>
+<div>{{.TimelineSVG}}</div>
+<h2>Mobility semantics</h2>
+<pre>{{.SemText}}</pre>
+</body></html>`))
+
+func (s *server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	dev := position.DeviceID(strings.TrimPrefix(r.URL.Path, "/device/"))
+	res, ok := s.results[dev]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	v := viewer.NewView(s.model)
+	v.SetSource(viewer.SourceRaw, viewer.FromPositioning(viewer.SourceRaw, res.Raw))
+	v.SetSource(viewer.SourceCleaned, viewer.FromPositioning(viewer.SourceCleaned, res.Cleaned))
+	v.SetSource(viewer.SourceSemantics, viewer.FromSemantics(res.Final))
+	if s.truths != nil {
+		if truth, ok := s.truths[dev]; ok {
+			v.SetSource(viewer.SourceTruth, viewer.FromPositioning(viewer.SourceTruth, truth.Records))
+		}
+	}
+
+	hidden := map[viewer.SourceKind]bool{}
+	hideParam := r.URL.Query().Get("hide")
+	for _, h := range strings.Split(hideParam, ",") {
+		if h != "" {
+			k := viewer.SourceKind(h)
+			hidden[k] = true
+			if v.Visible(k) {
+				v.Toggle(k)
+			}
+		}
+	}
+	if f := r.URL.Query().Get("floor"); f != "" {
+		if n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(f, "B"), "F")); err == nil {
+			floor := dsm.FloorID(n)
+			if strings.HasPrefix(f, "B") {
+				floor = -floor
+			}
+			_ = v.SwitchFloor(floor)
+		}
+	}
+
+	// Toggle links flip one source each.
+	var toggles []map[string]string
+	for _, kind := range v.Sources() {
+		next := make([]string, 0, 4)
+		for k := range hidden {
+			if k != kind {
+				next = append(next, string(k))
+			}
+		}
+		if !hidden[kind] {
+			next = append(next, string(kind))
+		}
+		sort.Strings(next)
+		label := string(kind)
+		if hidden[kind] {
+			label = "☐ " + label
+		} else {
+			label = "☑ " + label
+		}
+		toggles = append(toggles, map[string]string{
+			"Param": strings.Join(next, ","), "Label": label,
+		})
+	}
+
+	data := map[string]interface{}{
+		"Device":      dev,
+		"Floors":      s.model.Floors(),
+		"Floor":       v.Floor(),
+		"HideParam":   hideParam,
+		"Toggles":     toggles,
+		"MapSVG":      template.HTML(viewer.RenderSVG(v, viewer.RenderOptions{})),
+		"TimelineSVG": template.HTML(viewer.RenderTimelineSVG(v, 900)),
+		"SemText":     res.Final.String(),
+	}
+	if err := deviceTmpl.Execute(w, data); err != nil {
+		log.Print(err)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func demoServer(t *testing.T) *server {
+	t.Helper()
+	s, err := load(true, "", "", "")
+	if err != nil {
+		t.Fatalf("load demo: %v", err)
+	}
+	return s
+}
+
+func TestLoadRequiresInputs(t *testing.T) {
+	if _, err := load(false, "", "", ""); err == nil {
+		t.Error("missing inputs accepted")
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s := demoServer(t)
+	rec := httptest.NewRecorder()
+	s.handleIndex(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "TRIPS") || !strings.Contains(body, "/device/") {
+		t.Errorf("index body missing content")
+	}
+	// Non-root paths 404.
+	rec2 := httptest.NewRecorder()
+	s.handleIndex(rec2, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec2.Code != http.StatusNotFound {
+		t.Errorf("non-root status = %d", rec2.Code)
+	}
+}
+
+func TestDevicePage(t *testing.T) {
+	s := demoServer(t)
+	dev := string(s.devices[0])
+	rec := httptest.NewRecorder()
+	s.handleDevice(rec, httptest.NewRequest(http.MethodGet, "/device/"+dev, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<svg", "Timeline", "Mobility semantics", dev} {
+		if !strings.Contains(body, want) {
+			t.Errorf("device page missing %q", want)
+		}
+	}
+	// Unknown device 404s.
+	rec2 := httptest.NewRecorder()
+	s.handleDevice(rec2, httptest.NewRequest(http.MethodGet, "/device/ghost", nil))
+	if rec2.Code != http.StatusNotFound {
+		t.Errorf("unknown device status = %d", rec2.Code)
+	}
+}
+
+func TestDevicePageFloorAndHide(t *testing.T) {
+	s := demoServer(t)
+	dev := string(s.devices[0])
+	rec := httptest.NewRecorder()
+	s.handleDevice(rec, httptest.NewRequest(http.MethodGet,
+		"/device/"+dev+"?floor=2F&hide=raw,truth", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "floor 2F") {
+		t.Error("floor switch not applied")
+	}
+	if !strings.Contains(body, "☐ raw") {
+		t.Error("hidden source not reflected in toggles")
+	}
+	if !strings.Contains(body, "☑ cleaned") {
+		t.Error("visible source not reflected in toggles")
+	}
+}

@@ -1,0 +1,354 @@
+package annotation
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/events"
+	"trips/internal/geom"
+	"trips/internal/position"
+	"trips/internal/semantics"
+)
+
+// EventModel is the learning-based identification model: a classifier over
+// movement features together with the scaler and the label↔event mapping.
+// It is trained from the Event Editor's designated segments.
+type EventModel struct {
+	clf    Classifier
+	scaler *Scaler
+	labels []semantics.Event
+}
+
+// TrainEventModel fits the classifier on the training set. The classifier
+// choice is the caller's (Gaussian NB by default elsewhere); every defined
+// event needs at least one designated segment.
+func TrainEventModel(ts events.TrainingSet, clf Classifier) (*EventModel, error) {
+	if len(ts.Segments) == 0 {
+		return nil, errNoData
+	}
+	byEvent := ts.ByEvent()
+	labels := make([]semantics.Event, 0, len(byEvent))
+	for ev := range byEvent {
+		labels = append(labels, ev)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("annotation: need segments for ≥2 events, have %d", len(labels))
+	}
+	index := make(map[semantics.Event]int, len(labels))
+	for i, ev := range labels {
+		index[ev] = i
+	}
+
+	var X [][]float64
+	var y []int
+	for _, seg := range ts.Segments {
+		X = append(X, FeaturizeRecords(seg.Records, segmentDense(seg.Records)))
+		y = append(y, index[seg.Event])
+	}
+	scaler := FitScaler(X)
+	if err := clf.Train(scaler.TransformAll(X), y); err != nil {
+		return nil, err
+	}
+	return &EventModel{clf: clf, scaler: scaler, labels: labels}, nil
+}
+
+// segmentDense derives the density flag for a training segment by running
+// the same density mask the splitter uses and taking the majority.
+func segmentDense(recs []position.Record) bool {
+	if len(recs) == 0 {
+		return false
+	}
+	s := position.NewSequence(recs[0].Device)
+	for _, r := range recs {
+		s.Append(r)
+	}
+	mask := denseMask(s, DefaultSplitConfig())
+	cnt := 0
+	for _, d := range mask {
+		if d {
+			cnt++
+		}
+	}
+	return cnt*2 >= len(mask)
+}
+
+// Identify classifies a snippet, returning the event and the model's
+// confidence (the winning class probability).
+func (m *EventModel) Identify(sn Snippet) (semantics.Event, float64) {
+	x := m.scaler.Transform(Featurize(sn))
+	label, probs := m.clf.Predict(x)
+	conf := 0.0
+	if label < len(probs) {
+		conf = probs[label]
+	}
+	return m.labels[label], conf
+}
+
+// Events returns the events the model can identify, sorted.
+func (m *EventModel) Events() []semantics.Event {
+	return append([]semantics.Event(nil), m.labels...)
+}
+
+// ModelName reports the underlying classifier.
+func (m *EventModel) ModelName() string { return m.clf.Name() }
+
+// DisplayPolicy selects the triplet display point (paper footnote 1: "the
+// temporally middle or the spatially central positioning location according
+// to the user configuration").
+type DisplayPolicy string
+
+// Display policies.
+const (
+	DisplayTemporalMiddle DisplayPolicy = "temporal-middle"
+	DisplaySpatialCentral DisplayPolicy = "spatial-central"
+)
+
+// Config parameterizes the Annotator.
+type Config struct {
+	Split   SplitConfig
+	Display DisplayPolicy
+	// MinConfidence demotes identifications below the threshold to
+	// EventUnknown rather than asserting a wrong event (0 keeps all).
+	MinConfidence float64
+	// MergeGap consolidates consecutive triplets that share the event and
+	// the region and are separated by at most this gap — positioning noise
+	// fragments one dwell into several snippets, and the consolidated
+	// triplet is the semantics the analyst expects. Zero disables.
+	MergeGap time.Duration
+}
+
+// DefaultConfig returns the standard annotator configuration.
+func DefaultConfig() Config {
+	return Config{Split: DefaultSplitConfig(), Display: DisplayTemporalMiddle, MergeGap: time.Minute}
+}
+
+// Annotator extracts mobility semantics from cleaned positioning sequences:
+// density-based splitting, then per-snippet event identification and
+// semantic-region matching.
+type Annotator struct {
+	Model  *dsm.Model
+	Events *EventModel
+	Cfg    Config
+}
+
+// NewAnnotator builds an annotator over a frozen DSM and a trained model.
+func NewAnnotator(m *dsm.Model, em *EventModel, cfg Config) *Annotator {
+	if cfg.Split.EpsSpace == 0 {
+		cfg.Split = DefaultSplitConfig()
+	}
+	if cfg.Display == "" {
+		cfg.Display = DisplayTemporalMiddle
+	}
+	return &Annotator{Model: m, Events: em, Cfg: cfg}
+}
+
+// regionSnippet is a snippet with its spatial annotation resolved.
+type regionSnippet struct {
+	sn  Snippet
+	tag string
+	rid dsm.RegionID
+}
+
+// Annotate translates a cleaned sequence into its original (pre-complement)
+// mobility semantics sequence: split, spatially match, consolidate
+// same-region fragments, then identify one event per consolidated snippet.
+//
+// Consolidation happens BEFORE event identification on purpose: positioning
+// dropouts fragment one long dwell into several snippets, and duration-
+// sensitive event patterns (a one-hour meeting vs a five-minute errand)
+// can only be recognized on the whole dwell.
+func (a *Annotator) Annotate(s *position.Sequence) *semantics.Sequence {
+	out := semantics.NewSequence(string(s.Device))
+	var groups []regionSnippet
+	for _, sn := range a.refineByRegion(s, Split(s, a.Cfg.Split)) {
+		tag, rid := a.matchRegion(sn)
+		if n := len(groups); a.Cfg.MergeGap > 0 && n > 0 {
+			prev := &groups[n-1]
+			gap := sn.Records[0].At.Sub(prev.sn.Records[len(prev.sn.Records)-1].At)
+			if prev.tag == tag && prev.rid == rid && prev.sn.Dense == sn.Dense && gap <= a.Cfg.MergeGap {
+				prev.sn = joinSnippets(s, prev.sn, sn)
+				continue
+			}
+		}
+		groups = append(groups, regionSnippet{sn: sn, tag: tag, rid: rid})
+	}
+	for _, g := range groups {
+		out.Append(a.annotateSnippet(g))
+	}
+	return out
+}
+
+// refineByRegion splits snippets at persistent semantic-region changes: two
+// adjacent dwells can share one density cluster (noise bridges neighboring
+// shops), but their records vote for different regions. A boundary is kept
+// only when both sides hold their region for at least minRun records, so
+// single noisy strays do not fragment snippets.
+func (a *Annotator) refineByRegion(s *position.Sequence, sns []Snippet) []Snippet {
+	const minRun = 5
+	var out []Snippet
+	for _, sn := range sns {
+		if len(sn.Records) < 2*minRun {
+			out = append(out, sn)
+			continue
+		}
+		// Per-record region labels, majority-smoothed over a 5-wide window
+		// so boundary noise does not shred runs.
+		raw := make([]dsm.RegionID, len(sn.Records))
+		for i, r := range sn.Records {
+			if reg := a.Model.RegionAt(r.P, r.Floor); reg != nil {
+				raw[i] = reg.ID
+			}
+		}
+		labels := make([]dsm.RegionID, len(raw))
+		for i := range raw {
+			lo, hi := i-2, i+3
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(raw) {
+				hi = len(raw)
+			}
+			votes := make(map[dsm.RegionID]int, 3)
+			for _, l := range raw[lo:hi] {
+				votes[l]++
+			}
+			best := raw[i]
+			for l, c := range votes {
+				if c > votes[best] {
+					best = l
+				}
+			}
+			labels[i] = best
+		}
+		// Runs of identical smoothed labels; short runs merge backward.
+		type run struct{ start, end int } // [start, end)
+		var runs []run
+		start := 0
+		for i := 1; i <= len(labels); i++ {
+			if i < len(labels) && labels[i] == labels[start] {
+				continue
+			}
+			if i-start < minRun && len(runs) > 0 {
+				runs[len(runs)-1].end = i
+			} else {
+				runs = append(runs, run{start, i})
+			}
+			start = i
+		}
+		// A leading short run merges forward.
+		if len(runs) > 1 && runs[0].end-runs[0].start < minRun {
+			runs[1].start = runs[0].start
+			runs = runs[1:]
+		}
+		if len(runs) < 2 {
+			out = append(out, sn)
+			continue
+		}
+		cuts := make([]int, 0, len(runs)+1)
+		for _, r := range runs {
+			cuts = append(cuts, r.start)
+		}
+		cuts = append(cuts, len(sn.Records))
+		for c := 1; c < len(cuts); c++ {
+			lo, hi := cuts[c-1], cuts[c]-1
+			out = append(out, Snippet{
+				First:   sn.First + lo,
+				Last:    sn.First + hi,
+				Records: s.Records[sn.First+lo : sn.First+hi+1],
+				Dense:   sn.Dense,
+			})
+		}
+	}
+	return out
+}
+
+// annotateSnippet builds one triplet from a region-resolved snippet.
+func (a *Annotator) annotateSnippet(g regionSnippet) semantics.Triplet {
+	sn := g.sn
+	ev, conf := a.Events.Identify(sn)
+	if a.Cfg.MinConfidence > 0 && conf < a.Cfg.MinConfidence {
+		ev = semantics.EventUnknown
+	}
+	disp, floor := a.displayPoint(sn)
+	return semantics.Triplet{
+		Event:      ev,
+		Region:     g.tag,
+		RegionID:   g.rid,
+		From:       sn.Records[0].At,
+		To:         sn.Records[len(sn.Records)-1].At,
+		FirstIdx:   sn.First,
+		LastIdx:    sn.Last,
+		Display:    disp,
+		Floor:      floor,
+		Confidence: conf,
+	}
+}
+
+// matchRegion makes the spatial annotation: the semantic region covering the
+// majority of the snippet's records. When no record falls in any region, the
+// walkable partition of the snippet medoid names the annotation (so the
+// triplet is still localized, just not semantically tagged).
+func (a *Annotator) matchRegion(sn Snippet) (string, dsm.RegionID) {
+	votes := make(map[dsm.RegionID]int)
+	for _, r := range sn.Records {
+		if reg := a.Model.RegionAt(r.P, r.Floor); reg != nil {
+			votes[reg.ID]++
+		}
+	}
+	if len(votes) > 0 {
+		// Highest vote; ties resolve to the lexicographically first ID for
+		// determinism.
+		ids := make([]dsm.RegionID, 0, len(votes))
+		for id := range votes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if votes[ids[i]] != votes[ids[j]] {
+				return votes[ids[i]] > votes[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+		best := a.Model.Region(ids[0])
+		return best.Tag, best.ID
+	}
+	// Fall back to the medoid's partition.
+	p, f := a.medoid(sn)
+	if e := a.Model.Locate(p, f); e != nil {
+		if e.Name != "" {
+			return e.Name, ""
+		}
+		return string(e.ID), ""
+	}
+	return "Unknown", ""
+}
+
+// displayPoint picks the representative point per the configured policy.
+func (a *Annotator) displayPoint(sn Snippet) (geom.Point, dsm.FloorID) {
+	switch a.Cfg.Display {
+	case DisplaySpatialCentral:
+		return a.medoid(sn)
+	default:
+		r := sn.Records[len(sn.Records)/2]
+		return r.P, r.Floor
+	}
+}
+
+// medoid returns the record location closest to the snippet centroid.
+func (a *Annotator) medoid(sn Snippet) (geom.Point, dsm.FloorID) {
+	pts := make([]geom.Point, len(sn.Records))
+	for i, r := range sn.Records {
+		pts[i] = r.P
+	}
+	c := geom.Centroid(pts)
+	best := 0
+	bestD := pts[0].Dist2(c)
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Dist2(c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return sn.Records[best].P, sn.Records[best].Floor
+}

@@ -1,0 +1,467 @@
+package annotation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Classifier is a multiclass model over feature vectors. Labels are dense
+// ints 0..K-1; the EventModel maps them to mobility events.
+type Classifier interface {
+	// Train fits the model. X rows are feature vectors, y parallel labels.
+	Train(X [][]float64, y []int) error
+	// Predict returns the most likely label and the per-class
+	// probabilities (length K, summing to 1).
+	Predict(x []float64) (int, []float64)
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// errNoData is returned when training on an empty set.
+var errNoData = errors.New("annotation: empty training set")
+
+func validate(X [][]float64, y []int) (classes int, err error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return 0, errNoData
+	}
+	k := 0
+	for _, label := range y {
+		if label < 0 {
+			return 0, fmt.Errorf("annotation: negative label %d", label)
+		}
+		if label+1 > k {
+			k = label + 1
+		}
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("annotation: need at least 2 classes, got %d", k)
+	}
+	d := len(X[0])
+	for i, x := range X {
+		if len(x) != d {
+			return 0, fmt.Errorf("annotation: row %d has %d features, want %d", i, len(x), d)
+		}
+	}
+	return k, nil
+}
+
+// GaussianNB ---------------------------------------------------------------
+
+// GaussianNB is a Gaussian naive Bayes classifier: each feature is modeled
+// per class as an independent normal. Robust on small training sets, the
+// default identification model.
+type GaussianNB struct {
+	classes int
+	prior   []float64
+	mean    [][]float64
+	varr    [][]float64
+}
+
+// NewGaussianNB returns an untrained model.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "gaussian-nb" }
+
+// Train implements Classifier.
+func (g *GaussianNB) Train(X [][]float64, y []int) error {
+	k, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	d := len(X[0])
+	g.classes = k
+	g.prior = make([]float64, k)
+	g.mean = alloc2(k, d)
+	g.varr = alloc2(k, d)
+	counts := make([]float64, k)
+	for i, x := range X {
+		c := y[i]
+		counts[c]++
+		for j, v := range x {
+			g.mean[c][j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.mean[c] {
+			g.mean[c][j] /= counts[c]
+		}
+	}
+	for i, x := range X {
+		c := y[i]
+		for j, v := range x {
+			dv := v - g.mean[c][j]
+			g.varr[c][j] += dv * dv
+		}
+	}
+	for c := 0; c < k; c++ {
+		g.prior[c] = counts[c] / float64(len(X))
+		for j := range g.varr[c] {
+			if counts[c] > 0 {
+				g.varr[c][j] /= counts[c]
+			}
+			// Variance smoothing keeps degenerate features finite.
+			g.varr[c][j] += 1e-6
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GaussianNB) Predict(x []float64) (int, []float64) {
+	if g.classes == 0 {
+		return 0, nil
+	}
+	logp := make([]float64, g.classes)
+	for c := 0; c < g.classes; c++ {
+		lp := math.Log(g.prior[c] + 1e-12)
+		for j, v := range x {
+			m, s2 := g.mean[c][j], g.varr[c][j]
+			lp += -0.5*math.Log(2*math.Pi*s2) - (v-m)*(v-m)/(2*s2)
+		}
+		logp[c] = lp
+	}
+	return softmaxArgmax(logp)
+}
+
+// LogisticRegression --------------------------------------------------------
+
+// LogisticRegression is a multinomial logistic regression trained by
+// full-batch gradient descent with L2 regularization. Feature vectors should
+// be standardized (see Scaler) for stable convergence.
+type LogisticRegression struct {
+	// LearningRate and Epochs control the optimizer; zero values take the
+	// defaults (0.1, 400).
+	LearningRate float64
+	Epochs       int
+	// L2 is the ridge penalty (default 1e-3).
+	L2 float64
+
+	classes int
+	w       [][]float64 // [class][feature+1], last column is the bias
+}
+
+// NewLogisticRegression returns a model with default hyperparameters.
+func NewLogisticRegression() *LogisticRegression { return &LogisticRegression{} }
+
+// Name implements Classifier.
+func (lr *LogisticRegression) Name() string { return "logistic-regression" }
+
+// Train implements Classifier.
+func (lr *LogisticRegression) Train(X [][]float64, y []int) error {
+	k, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	d := len(X[0])
+	eta := lr.LearningRate
+	if eta <= 0 {
+		eta = 0.1
+	}
+	epochs := lr.Epochs
+	if epochs <= 0 {
+		epochs = 400
+	}
+	l2 := lr.L2
+	if l2 <= 0 {
+		l2 = 1e-3
+	}
+	lr.classes = k
+	lr.w = alloc2(k, d+1)
+	n := float64(len(X))
+
+	grad := alloc2(k, d+1)
+	for epoch := 0; epoch < epochs; epoch++ {
+		for c := range grad {
+			for j := range grad[c] {
+				grad[c][j] = 0
+			}
+		}
+		for i, x := range X {
+			p := lr.probs(x)
+			for c := 0; c < k; c++ {
+				delta := p[c]
+				if y[i] == c {
+					delta -= 1
+				}
+				for j, v := range x {
+					grad[c][j] += delta * v
+				}
+				grad[c][d] += delta
+			}
+		}
+		for c := 0; c < k; c++ {
+			for j := 0; j <= d; j++ {
+				g := grad[c][j]/n + l2*lr.w[c][j]
+				lr.w[c][j] -= eta * g
+			}
+		}
+	}
+	return nil
+}
+
+func (lr *LogisticRegression) probs(x []float64) []float64 {
+	k := lr.classes
+	scores := make([]float64, k)
+	for c := 0; c < k; c++ {
+		s := lr.w[c][len(x)]
+		for j, v := range x {
+			s += lr.w[c][j] * v
+		}
+		scores[c] = s
+	}
+	_, p := softmaxArgmax(scores)
+	return p
+}
+
+// Predict implements Classifier.
+func (lr *LogisticRegression) Predict(x []float64) (int, []float64) {
+	if lr.classes == 0 {
+		return 0, nil
+	}
+	p := lr.probs(x)
+	best := 0
+	for c := range p {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best, p
+}
+
+// DecisionTree ---------------------------------------------------------------
+
+// DecisionTree is a CART classifier with Gini impurity, axis-aligned splits,
+// and depth / leaf-size stopping rules.
+type DecisionTree struct {
+	// MaxDepth bounds the tree (default 6); MinLeaf is the minimum samples
+	// per leaf (default 2).
+	MaxDepth int
+	MinLeaf  int
+
+	classes int
+	root    *treeNode
+}
+
+type treeNode struct {
+	feature int
+	thresh  float64
+	left    *treeNode
+	right   *treeNode
+	probs   []float64 // leaf class distribution
+}
+
+// NewDecisionTree returns a tree with default hyperparameters.
+func NewDecisionTree() *DecisionTree { return &DecisionTree{} }
+
+// Name implements Classifier.
+func (dt *DecisionTree) Name() string { return "decision-tree" }
+
+// Train implements Classifier.
+func (dt *DecisionTree) Train(X [][]float64, y []int) error {
+	k, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	dt.classes = k
+	if dt.MaxDepth <= 0 {
+		dt.MaxDepth = 6
+	}
+	if dt.MinLeaf <= 0 {
+		dt.MinLeaf = 2
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	dt.root = dt.build(X, y, idx, 0)
+	return nil
+}
+
+func (dt *DecisionTree) build(X [][]float64, y []int, idx []int, depth int) *treeNode {
+	probs := classDist(y, idx, dt.classes)
+	node := &treeNode{probs: probs}
+	if depth >= dt.MaxDepth || len(idx) < 2*dt.MinLeaf || pure(probs) {
+		return node
+	}
+	bestGain, bestF, bestT := 0.0, -1, 0.0
+	parent := gini(probs)
+	d := len(X[0])
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < d; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		for v := 1; v < len(vals); v++ {
+			if vals[v] == vals[v-1] {
+				continue
+			}
+			t := (vals[v] + vals[v-1]) / 2
+			g := dt.splitGain(X, y, idx, f, t, parent)
+			if g > bestGain {
+				bestGain, bestF, bestT = g, f, t
+			}
+		}
+	}
+	if bestF < 0 || bestGain < 1e-9 {
+		return node
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestF] <= bestT {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < dt.MinLeaf || len(ri) < dt.MinLeaf {
+		return node
+	}
+	node.feature, node.thresh = bestF, bestT
+	node.left = dt.build(X, y, li, depth+1)
+	node.right = dt.build(X, y, ri, depth+1)
+	return node
+}
+
+func (dt *DecisionTree) splitGain(X [][]float64, y, idx []int, f int, t, parent float64) float64 {
+	var lc, rc []int
+	for _, i := range idx {
+		if X[i][f] <= t {
+			lc = append(lc, i)
+		} else {
+			rc = append(rc, i)
+		}
+	}
+	if len(lc) == 0 || len(rc) == 0 {
+		return 0
+	}
+	n := float64(len(idx))
+	gl := gini(classDist(y, lc, dt.classes))
+	gr := gini(classDist(y, rc, dt.classes))
+	return parent - (float64(len(lc))/n)*gl - (float64(len(rc))/n)*gr
+}
+
+// Predict implements Classifier.
+func (dt *DecisionTree) Predict(x []float64) (int, []float64) {
+	if dt.root == nil {
+		return 0, nil
+	}
+	node := dt.root
+	for node.left != nil {
+		if x[node.feature] <= node.thresh {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	best := 0
+	for c := range node.probs {
+		if node.probs[c] > node.probs[best] {
+			best = c
+		}
+	}
+	return best, append([]float64(nil), node.probs...)
+}
+
+// helpers --------------------------------------------------------------------
+
+func alloc2(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+func classDist(y, idx []int, k int) []float64 {
+	p := make([]float64, k)
+	for _, i := range idx {
+		p[y[i]]++
+	}
+	for c := range p {
+		p[c] /= float64(len(idx))
+	}
+	return p
+}
+
+func gini(p []float64) float64 {
+	g := 1.0
+	for _, v := range p {
+		g -= v * v
+	}
+	return g
+}
+
+func pure(p []float64) bool {
+	for _, v := range p {
+		if v > 0.999 {
+			return true
+		}
+	}
+	return false
+}
+
+// softmaxArgmax exponentiates scores stably, normalizes, and returns the
+// argmax with the probability vector.
+func softmaxArgmax(scores []float64) (int, []float64) {
+	best := 0
+	for i := range scores {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	mx := scores[best]
+	p := make([]float64, len(scores))
+	var sum float64
+	for i, s := range scores {
+		p[i] = math.Exp(s - mx)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return best, p
+}
+
+// CrossValidate computes k-fold accuracy of a fresh classifier produced by
+// mk. It is used by the Event Editor to preview training-set quality and by
+// the E4b experiment.
+func CrossValidate(mk func() Classifier, X [][]float64, y []int, folds int) (float64, error) {
+	if folds < 2 || len(X) < folds {
+		return 0, fmt.Errorf("annotation: bad folds %d for %d samples", folds, len(X))
+	}
+	correct, total := 0, 0
+	for f := 0; f < folds; f++ {
+		var trX [][]float64
+		var trY []int
+		var teX [][]float64
+		var teY []int
+		for i := range X {
+			if i%folds == f {
+				teX = append(teX, X[i])
+				teY = append(teY, y[i])
+			} else {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		c := mk()
+		if err := c.Train(trX, trY); err != nil {
+			return 0, err
+		}
+		for i, x := range teX {
+			if got, _ := c.Predict(x); got == teY[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total), nil
+}

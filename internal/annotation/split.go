@@ -1,0 +1,208 @@
+// Package annotation implements the Annotation layer of the TRIPS
+// three-layer translation framework (paper Fig. 3) — the Mobility Semantics
+// Annotator module.
+//
+// "A density-based splitting obtains a number of data snippets by clustering
+// positioning records with respect to their spatio-temporal attributes. A
+// semantic matching matches each snippet to a set of mobility semantics by
+// making annotations as follows. The event and temporal annotations are made
+// by a learning-based identification model ... The feature extraction
+// considers the information of positioning location variance, traveling
+// distance and speed, covering range, number of turns, etc. The spatial
+// annotation is made by matching the semantic regions in the DSM."
+//
+// The package therefore has four parts: the density-based splitter
+// (split.go), the movement feature extractor (features.go), the from-scratch
+// learning models (model.go: Gaussian naive Bayes, multinomial logistic
+// regression, CART decision tree), and the Annotator that combines event
+// identification with semantic-region matching (annotate.go).
+package annotation
+
+import (
+	"time"
+
+	"trips/internal/position"
+)
+
+// SplitConfig parameterizes the density-based splitting.
+type SplitConfig struct {
+	// EpsSpace is the spatial neighborhood radius in meters.
+	EpsSpace float64
+	// EpsTime is the temporal neighborhood radius.
+	EpsTime time.Duration
+	// MinPts is the minimum number of spatio-temporal neighbors
+	// (including the record itself) for a record to count as dense.
+	MinPts int
+	// MaxGap splits unconditionally when consecutive records are further
+	// apart in time.
+	MaxGap time.Duration
+	// MinSnippet merges runs shorter than this many records into their
+	// predecessor, suppressing classification jitter.
+	MinSnippet int
+}
+
+// DefaultSplitConfig matches Wi-Fi indoor sampling (3–10 s period,
+// 2–3 m noise).
+func DefaultSplitConfig() SplitConfig {
+	return SplitConfig{
+		EpsSpace:   4.0,
+		EpsTime:    90 * time.Second,
+		MinPts:     4,
+		MaxGap:     5 * time.Minute,
+		MinSnippet: 3,
+	}
+}
+
+// Snippet is a contiguous run of records produced by the splitting, the unit
+// the identification model classifies.
+type Snippet struct {
+	// First and Last index the covered records in the cleaned sequence,
+	// inclusive.
+	First, Last int
+	// Records aliases the cleaned sequence's backing array.
+	Records []position.Record
+	// Dense reports whether the majority of the snippet's records are
+	// density-core (dwelling-like) — an input feature, not a judgment.
+	Dense bool
+}
+
+// Duration returns the snippet's time span.
+func (sn Snippet) Duration() time.Duration {
+	if len(sn.Records) == 0 {
+		return 0
+	}
+	return sn.Records[len(sn.Records)-1].At.Sub(sn.Records[0].At)
+}
+
+// Split performs the density-based spatio-temporal splitting of a cleaned
+// sequence into snippets.
+func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	if cfg.EpsSpace <= 0 || cfg.MinPts <= 0 {
+		cfg = DefaultSplitConfig()
+	}
+
+	dense := denseMask(s, cfg)
+	smooth(dense)
+
+	// Cut points: density class change, floor change, or a long time gap.
+	var snippets []Snippet
+	start := 0
+	for i := 1; i < n; i++ {
+		cut := dense[i] != dense[i-1] ||
+			s.Records[i].Floor != s.Records[i-1].Floor ||
+			s.Records[i].At.Sub(s.Records[i-1].At) > cfg.MaxGap
+		if cut {
+			snippets = append(snippets, makeSnippet(s, dense, start, i-1))
+			start = i
+		}
+	}
+	snippets = append(snippets, makeSnippet(s, dense, start, n-1))
+	return mergeTiny(s, snippets, cfg.MinSnippet)
+}
+
+// denseMask marks each record that has at least MinPts spatio-temporal
+// neighbors. The scan window exploits time ordering: only records within
+// EpsTime can be neighbors.
+func denseMask(s *position.Sequence, cfg SplitConfig) []bool {
+	n := s.Len()
+	dense := make([]bool, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		ri := s.Records[i]
+		for ri.At.Sub(s.Records[lo].At) > cfg.EpsTime {
+			lo++
+		}
+		cnt := 0
+		for j := lo; j < n; j++ {
+			rj := s.Records[j]
+			if rj.At.Sub(ri.At) > cfg.EpsTime {
+				break
+			}
+			if rj.Floor == ri.Floor && ri.P.Dist(rj.P) <= cfg.EpsSpace {
+				cnt++
+				if cnt >= cfg.MinPts {
+					dense[i] = true
+					break
+				}
+			}
+		}
+	}
+	return dense
+}
+
+// smooth applies a 3-wide majority filter to suppress single-record flips.
+func smooth(mask []bool) {
+	n := len(mask)
+	if n < 3 {
+		return
+	}
+	prev := mask[0]
+	for i := 1; i < n-1; i++ {
+		cur := mask[i]
+		if prev == mask[i+1] && cur != prev {
+			mask[i] = prev
+		}
+		prev = cur
+	}
+}
+
+func makeSnippet(s *position.Sequence, dense []bool, first, last int) Snippet {
+	cnt := 0
+	for i := first; i <= last; i++ {
+		if dense[i] {
+			cnt++
+		}
+	}
+	return Snippet{
+		First:   first,
+		Last:    last,
+		Records: s.Records[first : last+1],
+		Dense:   cnt*2 >= last-first+1,
+	}
+}
+
+// mergeTiny folds runs shorter than minLen records or 10 seconds into their
+// predecessor (or successor for a tiny head), re-deriving the density
+// majority. Floor-change and gap cuts are preserved: a tiny run is only
+// merged into a neighbor on the same floor with a small join gap.
+func mergeTiny(s *position.Sequence, sn []Snippet, minLen int) []Snippet {
+	if minLen <= 1 || len(sn) <= 1 {
+		return sn
+	}
+	tiny := func(x Snippet) bool {
+		return len(x.Records) < minLen || x.Duration() < 10*time.Second
+	}
+	out := sn[:0]
+	for _, cur := range sn {
+		if len(out) > 0 && tiny(cur) && joinable(out[len(out)-1], cur) {
+			out[len(out)-1] = joinSnippets(s, out[len(out)-1], cur)
+			continue
+		}
+		out = append(out, cur)
+	}
+	// A tiny head merges forward.
+	if len(out) > 1 && tiny(out[0]) && joinable(out[0], out[1]) {
+		out[1] = joinSnippets(s, out[0], out[1])
+		out = out[1:]
+	}
+	return out
+}
+
+func joinable(a, b Snippet) bool {
+	la := a.Records[len(a.Records)-1]
+	fb := b.Records[0]
+	return la.Floor == fb.Floor && fb.At.Sub(la.At) <= 5*time.Minute
+}
+
+func joinSnippets(s *position.Sequence, a, b Snippet) Snippet {
+	j := Snippet{First: a.First, Last: b.Last, Records: s.Records[a.First : b.Last+1]}
+	// Density majority by length.
+	if (a.Dense && len(a.Records) >= len(b.Records)) || (b.Dense && len(b.Records) > len(a.Records)) {
+		j.Dense = true
+	}
+	return j
+}

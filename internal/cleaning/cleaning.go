@@ -1,0 +1,381 @@
+// Package cleaning implements the Cleaning layer of the TRIPS three-layer
+// translation framework (paper Fig. 3) — the Raw Data Cleaner module.
+//
+// "The Cleaning layer identifies and repairs the distinct raw data errors
+// that result from the indoor positioning. Considering the speed constraint
+// that people cannot move too fast indoors, the invalid positioning records
+// are identified by checking the speeds between consecutive positioning
+// records based on the minimum indoor walking distance [13]. An invalid
+// positioning record is repaired in two steps. A floor value correction
+// fixes an error in that record's floor value. If the speed constraint
+// violation still occurs after the correction, a location interpolation is
+// performed by deriving the possible locations at the time of that record
+// based on the indoor geometrical and topological information captured by
+// the DSM."
+//
+// The implementation follows that order exactly: speed-constraint detection
+// against the DSM walking distance, then per-record floor correction, then
+// location interpolation along the DSM walking path between the surrounding
+// valid anchors. Records outside walkable space (inside walls, beyond the
+// building) are snapped to the nearest partition first.
+package cleaning
+
+import (
+	"math"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+	"trips/internal/position"
+)
+
+// Cleaner cleans raw positioning sequences against a frozen DSM.
+type Cleaner struct {
+	// Model is the digital space model; required.
+	Model *dsm.Model
+
+	// MaxSpeed is the speed constraint in m/s. Indoor pedestrians rarely
+	// exceed 2.5 m/s; the default 3.0 leaves headroom for brisk walking.
+	MaxSpeed float64
+
+	// UseEuclidean switches the speed check from the minimum indoor
+	// walking distance to straight-line distance. It exists for the
+	// ablation experiment (E4 in DESIGN.md) showing that Euclidean
+	// distance under-detects wall-crossing errors; production use keeps
+	// it false.
+	UseEuclidean bool
+
+	// DisableSnap keeps out-of-walkable records in place instead of
+	// snapping them to the nearest partition. Ablation switch.
+	DisableSnap bool
+}
+
+// New returns a Cleaner with the default speed constraint.
+func New(m *dsm.Model) *Cleaner { return &Cleaner{Model: m, MaxSpeed: 3.0} }
+
+// Repair kinds recorded per modified record.
+const (
+	RepairSnap        = "snap"
+	RepairFloor       = "floor"
+	RepairInterpolate = "interpolate"
+)
+
+// Change describes one repaired record.
+type Change struct {
+	Index  int             `json:"index"`
+	Kind   string          `json:"kind"`
+	Before position.Record `json:"before"`
+	After  position.Record `json:"after"`
+}
+
+// Report summarizes a cleaning run.
+type Report struct {
+	Total        int      `json:"total"`
+	Snapped      int      `json:"snapped"`
+	FloorFixed   int      `json:"floorFixed"`
+	Interpolated int      `json:"interpolated"`
+	Changes      []Change `json:"changes,omitempty"`
+}
+
+// Modified returns the number of records altered in any way.
+func (r Report) Modified() int { return len(r.Changes) }
+
+// Clean returns a repaired copy of the sequence and the report of what was
+// changed. The input is never mutated.
+func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
+	out := s.Clone()
+	rep := Report{Total: s.Len()}
+	if out.Len() == 0 {
+		return out, rep
+	}
+	maxSpeed := c.MaxSpeed
+	if maxSpeed <= 0 {
+		maxSpeed = 3.0
+	}
+
+	// Step 0: snap every record into walkable space. Positioning noise
+	// routinely places points inside walls; all later geometry assumes
+	// walkable coordinates.
+	if !c.DisableSnap {
+		for i := range out.Records {
+			r := &out.Records[i]
+			p, _, ok := c.Model.SnapToWalkable(r.P, r.Floor)
+			if ok && !p.Eq(r.P) {
+				before := *r
+				r.P = p
+				rep.Snapped++
+				rep.Changes = append(rep.Changes, Change{i, RepairSnap, before, *r})
+			}
+		}
+	}
+
+	// Step 1: speed-constraint detection. valid[i] marks records that are
+	// consistent with the last valid anchor before them.
+	valid := c.detectValid(out, maxSpeed)
+
+	// Step 2: floor value correction. A record rejected only because of a
+	// wrong floor becomes valid once its floor is replaced by a plausible
+	// neighbor floor.
+	for i := range out.Records {
+		if valid[i] {
+			continue
+		}
+		if fixed, nf := c.tryFloorFix(out, valid, i, maxSpeed); fixed {
+			before := out.Records[i]
+			out.Records[i].Floor = nf
+			// Re-snap on the corrected floor.
+			if !c.DisableSnap {
+				if p, _, ok := c.Model.SnapToWalkable(out.Records[i].P, nf); ok {
+					out.Records[i].P = p
+				}
+			}
+			valid[i] = true
+			rep.FloorFixed++
+			rep.Changes = append(rep.Changes, Change{i, RepairFloor, before, out.Records[i]})
+		}
+	}
+
+	// Re-detect after floor fixes: fixes were validated against their
+	// anchors, but two adjacent fixed records may still be mutually
+	// inconsistent; the fresh pass demotes such records to interpolation.
+	if rep.FloorFixed > 0 {
+		fresh := c.detectValid(out, maxSpeed)
+		for i := range valid {
+			valid[i] = fresh[i]
+		}
+	}
+
+	// Step 3: location interpolation for the remaining invalid runs.
+	rep.Interpolated = c.interpolateRuns(out, valid, &rep)
+
+	return out, rep
+}
+
+// detectValid walks the sequence keeping a "last valid" anchor: record i is
+// valid when the speed needed to reach it from the anchor does not exceed
+// maxSpeed. The first record is the initial anchor.
+func (c *Cleaner) detectValid(s *position.Sequence, maxSpeed float64) []bool {
+	valid := make([]bool, s.Len())
+	valid[0] = true
+	anchor := 0
+	for i := 1; i < s.Len(); i++ {
+		if c.speedOK(s.Records[anchor], s.Records[i], maxSpeed) {
+			valid[i] = true
+			anchor = i
+		}
+	}
+	return valid
+}
+
+// speedOK reports whether moving a→b satisfies the speed constraint using
+// the configured distance.
+func (c *Cleaner) speedOK(a, b position.Record, maxSpeed float64) bool {
+	dt := b.At.Sub(a.At).Seconds()
+	if dt <= 0 {
+		return a.P.Eq(b.P) && a.Floor == b.Floor
+	}
+	var d float64
+	if c.UseEuclidean {
+		if a.Floor != b.Floor {
+			// Straight-line distance cannot price a floor change; charge
+			// the storey height so cross-floor teleports still register.
+			d = a.P.Dist(b.P) + c.Model.FloorHeight*math.Abs(float64(b.Floor-a.Floor))
+		} else {
+			d = a.P.Dist(b.P)
+		}
+	} else {
+		var ok bool
+		d, ok = c.Model.WalkingDistance(a.Location(), b.Location())
+		if !ok {
+			return false // unreachable: cannot be a genuine movement
+		}
+	}
+	return d/dt <= maxSpeed
+}
+
+// tryFloorFix tests whether replacing record i's floor with a neighbor's
+// floor resolves the violation in both directions. It returns the fixing
+// floor on success.
+func (c *Cleaner) tryFloorFix(s *position.Sequence, valid []bool, i int, maxSpeed float64) (bool, dsm.FloorID) {
+	prev := prevValid(valid, i)
+	next := nextValid(valid, i)
+
+	candidates := make([]dsm.FloorID, 0, 2)
+	if prev >= 0 && s.Records[prev].Floor != s.Records[i].Floor {
+		candidates = append(candidates, s.Records[prev].Floor)
+	}
+	if next >= 0 && s.Records[next].Floor != s.Records[i].Floor {
+		f := s.Records[next].Floor
+		if len(candidates) == 0 || candidates[0] != f {
+			candidates = append(candidates, f)
+		}
+	}
+	for _, f := range candidates {
+		if !c.Model.HasFloor(f) {
+			continue
+		}
+		trial := s.Records[i]
+		trial.Floor = f
+		if p, _, ok := c.Model.SnapToWalkable(trial.P, f); ok {
+			trial.P = p
+		}
+		okPrev := prev < 0 || c.speedOK(s.Records[prev], trial, maxSpeed)
+		okNext := next < 0 || c.speedOK(trial, s.Records[next], maxSpeed)
+		if okPrev && okNext {
+			return true, f
+		}
+	}
+	return false, 0
+}
+
+func prevValid(valid []bool, i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if valid[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+func nextValid(valid []bool, i int) int {
+	for j := i + 1; j < len(valid); j++ {
+		if valid[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+// interpolateRuns repairs every maximal run of invalid records by placing
+// them on the DSM walking path between the surrounding valid anchors,
+// proportionally to their timestamps. Runs without a following anchor are
+// held at the previous anchor's location (the object is assumed to have
+// lingered); runs without a preceding anchor mirror from the next anchor.
+func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Report) int {
+	n := s.Len()
+	count := 0
+	for i := 0; i < n; {
+		if valid[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && !valid[j] {
+			j++
+		}
+		// Invalid run [i, j).
+		prev := i - 1 // valid or -1
+		next := -1
+		if j < n {
+			next = j
+		}
+		for k := i; k < j; k++ {
+			before := s.Records[k]
+			s.Records[k] = c.interpolateOne(s, prev, next, k)
+			valid[k] = true
+			count++
+			rep.Changes = append(rep.Changes, Change{k, RepairInterpolate, before, s.Records[k]})
+		}
+		i = j
+	}
+	return count
+}
+
+// interpolateOne derives the possible location of record k between anchors
+// prev and next (either may be absent, not both — the first record is
+// always a valid anchor).
+func (c *Cleaner) interpolateOne(s *position.Sequence, prev, next, k int) position.Record {
+	r := s.Records[k]
+	switch {
+	case prev >= 0 && next >= 0:
+		a, b := s.Records[prev], s.Records[next]
+		path := c.Model.WalkingPath(a.Location(), b.Location())
+		if path == nil {
+			// Disconnected anchors: hold at the earlier one.
+			r.P, r.Floor = a.P, a.Floor
+			return r
+		}
+		total := pathLength(path, c.Model.FloorHeight)
+		frac := timeFrac(a.At, b.At, r.At)
+		p, f := pathAt(path, total*frac, c.Model.FloorHeight)
+		r.P, r.Floor = p, f
+		// Path legs pass through door centers inside wall bands; the
+		// derived location must itself be walkable or a second cleaning
+		// pass would re-touch it.
+		if !c.DisableSnap {
+			if sp, _, ok := c.Model.SnapToWalkable(r.P, r.Floor); ok {
+				r.P = sp
+			}
+		}
+	case prev >= 0:
+		a := s.Records[prev]
+		r.P, r.Floor = a.P, a.Floor
+	case next >= 0:
+		b := s.Records[next]
+		r.P, r.Floor = b.P, b.Floor
+	}
+	return r
+}
+
+func timeFrac(a, b, t time.Time) float64 {
+	den := b.Sub(a).Seconds()
+	if den <= 0 {
+		return 0
+	}
+	f := t.Sub(a).Seconds() / den
+	return math.Max(0, math.Min(1, f))
+}
+
+// verticalLegFactor mirrors the DSM's pricing of floor changes in the
+// walking distance: interpolation must budget travel the same way the speed
+// constraint measures it, or interpolated records straddling a floor change
+// would violate the very constraint they were derived from.
+const verticalLegFactor = 3.0
+
+// legLength prices one path leg: planar distance plus the vertical cost of
+// any floor change.
+func legLength(a, b dsm.Location, floorHeight float64) float64 {
+	d := a.P.Dist(b.P)
+	if df := float64(b.Floor - a.Floor); df != 0 {
+		d += floorHeight * verticalLegFactor * math.Abs(df)
+	}
+	return d
+}
+
+// pathLength sums the priced lengths of the walking path legs.
+func pathLength(path []dsm.Location, floorHeight float64) float64 {
+	var d float64
+	for i := 1; i < len(path); i++ {
+		d += legLength(path[i-1], path[i], floorHeight)
+	}
+	return d
+}
+
+// pathAt returns the point and floor at priced arc-length dist along the
+// path. On a floor-changing leg, the planar position interpolates while the
+// floor flips at the leg midpoint (the walker is in the shaft).
+func pathAt(path []dsm.Location, dist float64, floorHeight float64) (geom.Point, dsm.FloorID) {
+	if len(path) == 0 {
+		return geom.Point{}, 0
+	}
+	if dist <= 0 {
+		return path[0].P, path[0].Floor
+	}
+	for i := 1; i < len(path); i++ {
+		l := legLength(path[i-1], path[i], floorHeight)
+		if dist <= l {
+			if l <= geom.Eps {
+				return path[i].P, path[i].Floor
+			}
+			t := dist / l
+			f := path[i-1].Floor
+			if t > 0.5 {
+				f = path[i].Floor
+			}
+			return path[i-1].P.Lerp(path[i].P, t), f
+		}
+		dist -= l
+	}
+	last := path[len(path)-1]
+	return last.P, last.Floor
+}

@@ -1,0 +1,266 @@
+package cleaning
+
+import (
+	"testing"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+	"trips/internal/position"
+	"trips/internal/testvenue"
+)
+
+var t0 = time.Date(2017, 1, 2, 10, 0, 0, 0, time.UTC)
+
+func rec(x, y float64, floor int, off time.Duration) position.Record {
+	return position.Record{Device: "d", P: geom.Pt(x, y), Floor: dsm.FloorID(floor), At: t0.Add(off)}
+}
+
+func seq(recs ...position.Record) *position.Sequence {
+	s := position.NewSequence("d")
+	for _, r := range recs {
+		s.Append(r)
+	}
+	return s
+}
+
+func TestCleanEmptyAndCleanInput(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	out, rep := c.Clean(position.NewSequence("d"))
+	if out.Len() != 0 || rep.Modified() != 0 {
+		t.Errorf("empty clean = %v, %+v", out.Len(), rep)
+	}
+	// A well-behaved walk in the hallway is untouched.
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(6, 5, 1, 4*time.Second),
+		rec(10, 5, 1, 8*time.Second),
+	)
+	out, rep = c.Clean(s)
+	if rep.Modified() != 0 {
+		t.Errorf("clean input modified: %+v", rep.Changes)
+	}
+	for i := range s.Records {
+		if !out.Records[i].P.Eq(s.Records[i].P) {
+			t.Errorf("record %d moved", i)
+		}
+	}
+}
+
+func TestCleanDoesNotMutateInput(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	s := seq(rec(2, 5, 1, 0), rec(200, 200, 1, time.Second))
+	orig := s.Records[1].P
+	c.Clean(s)
+	if !s.Records[1].P.Eq(orig) {
+		t.Error("Clean mutated its input")
+	}
+}
+
+func TestSnapIntoWalkable(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	// (8, 10.2) is inside the dividing wall; it must be snapped out.
+	s := seq(rec(2, 9, 1, 0), rec(8, 10.2, 1, 4*time.Second))
+	out, rep := c.Clean(s)
+	if rep.Snapped == 0 {
+		t.Fatalf("wall point not snapped: %+v", rep)
+	}
+	if m := c.Model.Locate(out.Records[1].P, out.Records[1].Floor); m == nil {
+		t.Errorf("snapped point %v still unwalkable", out.Records[1].P)
+	}
+}
+
+func TestFloorCorrection(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	// Steady hallway walk with one record flashing to floor 2 — the
+	// classic barometric/AP-mismatch floor misread.
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(4, 5, 1, 4*time.Second),
+		rec(6, 5, 2, 8*time.Second), // wrong floor
+		rec(8, 5, 1, 12*time.Second),
+		rec(10, 5, 1, 16*time.Second),
+	)
+	out, rep := c.Clean(s)
+	if rep.FloorFixed != 1 {
+		t.Fatalf("floor fixes = %d, report %+v", rep.FloorFixed, rep)
+	}
+	if out.Records[2].Floor != 1 {
+		t.Errorf("floor not corrected: %v", out.Records[2])
+	}
+	// XY stays put (the reading was fine planarly).
+	if out.Records[2].P.Dist(geom.Pt(6, 5)) > 0.5 {
+		t.Errorf("floor fix moved the point to %v", out.Records[2].P)
+	}
+}
+
+func TestInterpolationOfOutlier(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	// Walking along the hallway; one record jumps 30 m in one second.
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(4, 5, 1, 4*time.Second),
+		rec(34, 5, 1, 5*time.Second), // outlier: 30 m in 1 s
+		rec(8, 5, 1, 12*time.Second),
+		rec(10, 5, 1, 16*time.Second),
+	)
+	out, rep := c.Clean(s)
+	if rep.Interpolated != 1 {
+		t.Fatalf("interpolated = %d (%+v)", rep.Interpolated, rep)
+	}
+	got := out.Records[2].P
+	// The repaired point lies between the anchors (4,5) and (8,5),
+	// time-proportionally at 1/8 of the way.
+	if got.X < 4 || got.X > 8 || got.Dist(geom.Pt(4.5, 5)) > 1.5 {
+		t.Errorf("interpolated point = %v, want ≈(4.5, 5)", got)
+	}
+	// All repaired records satisfy the speed constraint afterwards.
+	assertSpeedOK(t, c, out)
+}
+
+func assertSpeedOK(t *testing.T, c *Cleaner, s *position.Sequence) {
+	t.Helper()
+	for i := 1; i < s.Len(); i++ {
+		a, b := s.Records[i-1], s.Records[i]
+		d, ok := c.Model.WalkingDistance(a.Location(), b.Location())
+		if !ok {
+			t.Errorf("records %d-%d unreachable after cleaning", i-1, i)
+			continue
+		}
+		dt := b.At.Sub(a.At).Seconds()
+		if dt > 0 && d/dt > c.MaxSpeed*1.05 {
+			t.Errorf("speed %0.2f m/s between %d and %d exceeds constraint", d/dt, i-1, i)
+		}
+	}
+}
+
+func TestInterpolationRunOfSeveral(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(35, 18, 1, 2*time.Second), // garbage
+		rec(38, 2, 1, 4*time.Second),  // garbage (plausible from prev garbage, but not from anchor)
+		rec(4, 5, 1, 8*time.Second),
+	)
+	out, rep := c.Clean(s)
+	if rep.Interpolated < 2 {
+		t.Fatalf("interpolated = %d, want ≥2 (%+v)", rep.Interpolated, rep.Changes)
+	}
+	assertSpeedOK(t, c, out)
+}
+
+func TestTrailingInvalidHeldAtAnchor(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(4, 5, 1, 4*time.Second),
+		rec(38, 18, 1, 5*time.Second), // trailing garbage, no later anchor
+	)
+	out, rep := c.Clean(s)
+	if rep.Interpolated != 1 {
+		t.Fatalf("interpolated = %d", rep.Interpolated)
+	}
+	if !out.Records[2].P.Eq(out.Records[1].P) {
+		t.Errorf("trailing invalid should hold at anchor, got %v", out.Records[2].P)
+	}
+}
+
+func TestCrossFloorTeleportInterpolated(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	// Jumping from floor 1 hallway to floor 2 room in 2 s is impossible
+	// (the only stair is ~30 m away); with a later consistent anchor the
+	// record is repaired rather than trusted.
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(5, 15, 2, 2*time.Second), // impossible jump
+		rec(6, 5, 1, 6*time.Second),
+	)
+	out, rep := c.Clean(s)
+	if rep.Modified() == 0 {
+		t.Fatal("impossible cross-floor jump left untouched")
+	}
+	if out.Records[1].Floor != 1 {
+		t.Errorf("repaired record floor = %v, want 1", out.Records[1].Floor)
+	}
+	assertSpeedOK(t, c, out)
+}
+
+func TestLegitimateFloorChangeKept(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	// A slow, genuine stair climb: hallway → stairs → floor 2 hallway.
+	s := seq(
+		rec(30, 4, 1, 0),
+		rec(37, 2, 1, 10*time.Second), // at the stairs
+		rec(37, 2, 2, 40*time.Second), // emerged on floor 2
+		rec(30, 4, 2, 50*time.Second),
+	)
+	_, rep := c.Clean(s)
+	if rep.FloorFixed != 0 || rep.Interpolated != 0 {
+		t.Errorf("legitimate floor change repaired: %+v", rep.Changes)
+	}
+}
+
+func TestEuclideanAblationMissesWallCrossing(t *testing.T) {
+	m := testvenue.MustTwoFloor()
+	// Hop between adjacent rooms through the wall: Euclidean distance is
+	// tiny (2 m in 4 s) but the walking distance via doors is ≈20 m.
+	s := seq(
+		rec(9, 15, 1, 0),
+		rec(11, 15, 1, 4*time.Second),
+		rec(9, 15, 1, 8*time.Second),
+		rec(11, 15, 1, 12*time.Second),
+	)
+	walk := &Cleaner{Model: m, MaxSpeed: 3.0}
+	_, repWalk := walk.Clean(s)
+	euclid := &Cleaner{Model: m, MaxSpeed: 3.0, UseEuclidean: true}
+	_, repEuclid := euclid.Clean(s)
+	if repWalk.Interpolated == 0 {
+		t.Error("walking-distance check should flag the wall-crossing hops")
+	}
+	if repEuclid.Interpolated != 0 || repEuclid.FloorFixed != 0 {
+		t.Error("euclidean ablation unexpectedly repaired the hops")
+	}
+}
+
+func TestZeroTimeDeltaDuplicate(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	// Identical timestamp, different position: the second reading is
+	// invalid and repairable.
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(20, 5, 1, 0),
+		rec(3, 5, 1, 4*time.Second),
+	)
+	out, rep := c.Clean(s)
+	if rep.Interpolated != 1 {
+		t.Fatalf("duplicate-time record not repaired: %+v", rep)
+	}
+	if out.Records[1].P.X > 4 {
+		t.Errorf("repaired duplicate at %v", out.Records[1].P)
+	}
+}
+
+func TestReportChangesComplete(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	s := seq(
+		rec(2, 5, 1, 0),
+		rec(6, 5, 2, 4*time.Second),  // floor error
+		rec(34, 5, 1, 5*time.Second), // outlier
+		rec(8, 5, 1, 12*time.Second),
+	)
+	_, rep := c.Clean(s)
+	if rep.Total != 4 {
+		t.Errorf("total = %d", rep.Total)
+	}
+	if got := rep.FloorFixed + rep.Interpolated + rep.Snapped; got != len(rep.Changes) {
+		t.Errorf("change accounting: %d kinds vs %d changes", got, len(rep.Changes))
+	}
+	for _, ch := range rep.Changes {
+		if ch.Index < 0 || ch.Index >= 4 {
+			t.Errorf("change index out of range: %+v", ch)
+		}
+		if ch.Kind == "" {
+			t.Errorf("change without kind: %+v", ch)
+		}
+	}
+}

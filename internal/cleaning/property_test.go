@@ -1,0 +1,123 @@
+package cleaning
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+	"trips/internal/position"
+	"trips/internal/testvenue"
+)
+
+// Property: for arbitrary (bounded) raw sequences, cleaning (1) preserves
+// record count and timestamps, (2) never outputs an unwalkable location,
+// and (3) leaves every consecutive pair satisfying the speed constraint
+// whenever the pair is reachable.
+func TestCleanProperties(t *testing.T) {
+	m := testvenue.MustTwoFloor()
+	c := New(m)
+	f := func(seed uint32, n uint8) bool {
+		count := int(n%40) + 2
+		s := position.NewSequence("p")
+		st := seed
+		next := func(mod uint32) float64 {
+			st = st*1664525 + 1013904223
+			return float64(st % mod)
+		}
+		at := t0
+		for i := 0; i < count; i++ {
+			floor := dsm.FloorID(1 + int(st%2))
+			s.Append(position.Record{
+				Device: "p",
+				P:      geom.Pt(next(45)-2, next(24)-2),
+				Floor:  floor,
+				At:     at,
+			})
+			at = at.Add(time.Duration(2+int(next(8))) * time.Second)
+		}
+		out, rep := c.Clean(s)
+		if out.Len() != s.Len() {
+			return false
+		}
+		for i := range out.Records {
+			if !out.Records[i].At.Equal(s.Records[i].At) {
+				return false
+			}
+			if m.Locate(out.Records[i].P, out.Records[i].Floor) == nil {
+				return false
+			}
+		}
+		// The speed guarantee is exact for records the detector accepted
+		// (the greedy anchor chain checks consecutive accepted records
+		// pairwise). Interpolated records satisfy the constraint along
+		// their generating walking path; re-measuring them point-to-point
+		// through the connector-discretized metric can inflate (a mid-leg
+		// point "pays again" to rejoin the graph), so repaired pairs are
+		// exempt here — TestInterpolationOfOutlier and friends cover their
+		// placement directly.
+		repaired := make(map[int]bool)
+		for _, ch := range rep.Changes {
+			if ch.Kind == RepairInterpolate || ch.Kind == RepairFloor {
+				repaired[ch.Index] = true
+			}
+		}
+		for i := 1; i < out.Len(); i++ {
+			if repaired[i-1] || repaired[i] {
+				continue
+			}
+			a, b := out.Records[i-1], out.Records[i]
+			d, ok := m.WalkingDistance(a.Location(), b.Location())
+			if !ok {
+				return false
+			}
+			dt := b.At.Sub(a.At).Seconds()
+			// 1.3× absorbs snap displacement (≤ ~0.5 m) at short periods.
+			if dt > 0 && d/dt > c.MaxSpeed*1.3 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cleaning an already-clean sequence is a fixed point.
+func TestCleanIdempotent(t *testing.T) {
+	m := testvenue.MustTwoFloor()
+	c := New(m)
+	f := func(seed uint32) bool {
+		st := seed
+		next := func(mod uint32) float64 {
+			st = st*1664525 + 1013904223
+			return float64(st % mod)
+		}
+		s := position.NewSequence("p")
+		at := t0
+		for i := 0; i < 20; i++ {
+			s.Append(position.Record{Device: "p",
+				P: geom.Pt(next(45)-2, next(24)-2), Floor: 1, At: at})
+			at = at.Add(5 * time.Second)
+		}
+		once, _ := c.Clean(s)
+		twice, rep := c.Clean(once)
+		if rep.FloorFixed != 0 || rep.Interpolated != 0 {
+			return false
+		}
+		for i := range twice.Records {
+			if !twice.Records[i].P.Eq(once.Records[i].P) ||
+				twice.Records[i].Floor != once.Records[i].Floor {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,373 @@
+package dsm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"trips/internal/geom"
+)
+
+// Model is the Digital Space Model: entities, semantic regions and the
+// derived topology for a whole venue. Build one with New / AddEntity /
+// AddRegion and call Freeze before querying; Freeze computes the spatial
+// indexes, the door-connectivity graph and the region adjacency that the
+// Cleaner, Annotator and Complementor rely on.
+//
+// A frozen Model is immutable and safe for concurrent readers.
+type Model struct {
+	// Name labels the venue, e.g. "hangzhou-mall".
+	Name string `json:"name"`
+	// FloorHeight is the vertical distance between floors in meters; it
+	// prices floor changes in the walking distance.
+	FloorHeight float64 `json:"floorHeight"`
+
+	Entities []*Entity         `json:"entities"`
+	Regions  []*SemanticRegion `json:"regions"`
+
+	// Derived state (not serialized; rebuilt by Freeze).
+	frozen    bool
+	byID      map[EntityID]*Entity
+	regByID   map[RegionID]*SemanticRegion
+	regByTag  map[string]*SemanticRegion
+	floors    map[FloorID]*floorIndex
+	floorList []FloorID
+	nav       *navGraph
+	regAdj    map[RegionID][]RegionID
+}
+
+// floorIndex is the per-floor spatial index over walkable partitions and
+// regions.
+type floorIndex struct {
+	bounds     geom.Rect
+	partitions []*Entity // walkable entities on this floor
+	partGrid   *geom.GridIndex
+	regions    []*SemanticRegion
+	regGrid    *geom.GridIndex
+}
+
+// New creates an empty model with the given venue name and a default floor
+// height of 4.5 m (typical mall storey).
+func New(name string) *Model {
+	return &Model{Name: name, FloorHeight: 4.5}
+}
+
+// AddEntity appends an entity. It panics when called after Freeze, which
+// would silently desynchronize the derived indexes.
+func (m *Model) AddEntity(e *Entity) {
+	if m.frozen {
+		panic("dsm: AddEntity after Freeze")
+	}
+	m.Entities = append(m.Entities, e)
+}
+
+// AddRegion appends a semantic region. It panics when called after Freeze.
+func (m *Model) AddRegion(r *SemanticRegion) {
+	if m.frozen {
+		panic("dsm: AddRegion after Freeze")
+	}
+	m.Regions = append(m.Regions, r)
+}
+
+// Freeze validates the model, resolves the entity↔region mapping, builds the
+// per-floor spatial indexes, the navigation graph and the region adjacency.
+// A model must be frozen before any query method is used.
+func (m *Model) Freeze() error {
+	if m.frozen {
+		return nil
+	}
+	if m.FloorHeight <= 0 {
+		m.FloorHeight = 4.5
+	}
+	m.byID = make(map[EntityID]*Entity, len(m.Entities))
+	for _, e := range m.Entities {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if _, dup := m.byID[e.ID]; dup {
+			return fmt.Errorf("dsm: duplicate entity ID %q", e.ID)
+		}
+		m.byID[e.ID] = e
+	}
+	m.regByID = make(map[RegionID]*SemanticRegion, len(m.Regions))
+	m.regByTag = make(map[string]*SemanticRegion, len(m.Regions))
+	for _, r := range m.Regions {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if _, dup := m.regByID[r.ID]; dup {
+			return fmt.Errorf("dsm: duplicate region ID %q", r.ID)
+		}
+		m.regByID[r.ID] = r
+		m.regByTag[r.Tag] = r
+		for _, eid := range r.Entities {
+			if _, ok := m.byID[eid]; !ok {
+				return fmt.Errorf("dsm: region %s references unknown entity %q", r.ID, eid)
+			}
+		}
+	}
+
+	m.buildFloorIndexes()
+	m.deriveRegionEntities()
+	if err := m.buildNavGraph(); err != nil {
+		return err
+	}
+	m.buildRegionAdjacency()
+	m.frozen = true
+	return nil
+}
+
+// buildFloorIndexes groups walkable entities and regions per floor and
+// indexes their bounding boxes on a 4 m grid.
+func (m *Model) buildFloorIndexes() {
+	m.floors = make(map[FloorID]*floorIndex)
+	fl := func(f FloorID) *floorIndex {
+		fi, ok := m.floors[f]
+		if !ok {
+			fi = &floorIndex{
+				bounds:   geom.EmptyRect(),
+				partGrid: geom.NewGridIndex(4),
+				regGrid:  geom.NewGridIndex(4),
+			}
+			m.floors[f] = fi
+		}
+		return fi
+	}
+	for _, e := range m.Entities {
+		fi := fl(e.Floor)
+		fi.bounds = fi.bounds.Union(e.Shape.Bounds())
+		if e.Kind.Walkable() {
+			fi.partGrid.Insert(len(fi.partitions), e.Shape.Bounds())
+			fi.partitions = append(fi.partitions, e)
+		}
+	}
+	for _, r := range m.Regions {
+		fi := fl(r.Floor)
+		fi.regGrid.Insert(len(fi.regions), r.Shape.Bounds())
+		fi.regions = append(fi.regions, r)
+	}
+	m.floorList = m.floorList[:0]
+	for f := range m.floors {
+		m.floorList = append(m.floorList, f)
+	}
+	sort.Slice(m.floorList, func(i, j int) bool { return m.floorList[i] < m.floorList[j] })
+}
+
+// deriveRegionEntities fills missing region→entity mappings geometrically:
+// a region covers every walkable entity whose centroid it contains.
+func (m *Model) deriveRegionEntities() {
+	for _, r := range m.Regions {
+		if len(r.Entities) > 0 {
+			continue
+		}
+		fi := m.floors[r.Floor]
+		if fi == nil {
+			continue
+		}
+		for _, e := range fi.partitions {
+			if r.Shape.Contains(e.Center()) {
+				r.Entities = append(r.Entities, e.ID)
+			}
+		}
+	}
+}
+
+// Frozen reports whether Freeze has completed.
+func (m *Model) Frozen() bool { return m.frozen }
+
+// Entity returns the entity with the given ID, or nil.
+func (m *Model) Entity(id EntityID) *Entity { return m.byID[id] }
+
+// Region returns the region with the given ID, or nil.
+func (m *Model) Region(id RegionID) *SemanticRegion { return m.regByID[id] }
+
+// RegionByTag returns the region with the given semantic tag, or nil.
+func (m *Model) RegionByTag(tag string) *SemanticRegion { return m.regByTag[tag] }
+
+// Floors returns the floor numbers present in the model, ascending.
+func (m *Model) Floors() []FloorID { return m.floorList }
+
+// FloorBounds returns the bounding rectangle of all entities on floor f.
+func (m *Model) FloorBounds(f FloorID) geom.Rect {
+	if fi := m.floors[f]; fi != nil {
+		return fi.bounds
+	}
+	return geom.EmptyRect()
+}
+
+// HasFloor reports whether the model has any entity on floor f.
+func (m *Model) HasFloor(f FloorID) bool { _, ok := m.floors[f]; return ok }
+
+// Locate returns the walkable partition containing the given location, or
+// nil when the point lies in a wall, an obstacle or outside the building.
+// When several partitions overlap (e.g. a staircase inside a hallway) the
+// smallest-area one wins, matching the most specific entity.
+func (m *Model) Locate(p geom.Point, f FloorID) *Entity {
+	fi := m.floors[f]
+	if fi == nil {
+		return nil
+	}
+	var best *Entity
+	bestArea := 0.0
+	for _, i := range fi.partGrid.QueryPoint(p) {
+		e := fi.partitions[i]
+		if e.Shape.Contains(p) {
+			a := e.Shape.Area()
+			if best == nil || a < bestArea {
+				best, bestArea = e, a
+			}
+		}
+	}
+	return best
+}
+
+// SnapToWalkable returns the nearest point inside walkable space on floor f,
+// together with the partition that contains it. If p is already walkable it
+// is returned unchanged. The boolean is false when the floor has no
+// partitions at all.
+func (m *Model) SnapToWalkable(p geom.Point, f FloorID) (geom.Point, *Entity, bool) {
+	if e := m.Locate(p, f); e != nil {
+		return p, e, true
+	}
+	fi := m.floors[f]
+	if fi == nil || len(fi.partitions) == 0 {
+		return p, nil, false
+	}
+	// Search outward with growing query boxes before falling back to a
+	// full scan, so the common near-miss case stays cheap.
+	for _, radius := range []float64{2, 8, 32} {
+		var best *Entity
+		bestD := radius
+		for _, i := range fi.partGrid.QueryRect(geom.NewRect(p, p).Expand(radius)) {
+			e := fi.partitions[i]
+			if d := e.Shape.DistToPoint(p); d < bestD {
+				best, bestD = e, d
+			}
+		}
+		if best != nil {
+			return clampInside(best.Shape, p), best, true
+		}
+	}
+	var best *Entity
+	bestD := 0.0
+	for _, e := range fi.partitions {
+		if d := e.Shape.DistToPoint(p); best == nil || d < bestD {
+			best, bestD = e, d
+		}
+	}
+	return clampInside(best.Shape, p), best, true
+}
+
+// clampInside returns the boundary point of pg nearest to p, nudged slightly
+// inward so that subsequent Contains checks succeed.
+func clampInside(pg geom.Polygon, p geom.Point) geom.Point {
+	b := pg.ClosestBoundaryPoint(p)
+	c := pg.Centroid()
+	if pg.Contains(c) {
+		// Pull 1 cm toward the centroid.
+		d := c.Sub(b)
+		if n := d.Norm(); n > geom.Eps {
+			return b.Add(d.Scale(0.01 / n))
+		}
+	}
+	return b
+}
+
+// RegionAt returns the semantic region containing the location, or nil.
+// Overlapping regions resolve to the smallest area, the most specific tag.
+func (m *Model) RegionAt(p geom.Point, f FloorID) *SemanticRegion {
+	fi := m.floors[f]
+	if fi == nil {
+		return nil
+	}
+	var best *SemanticRegion
+	bestArea := 0.0
+	for _, i := range fi.regGrid.QueryPoint(p) {
+		r := fi.regions[i]
+		if r.Shape.Contains(p) {
+			a := r.Shape.Area()
+			if best == nil || a < bestArea {
+				best, bestArea = r, a
+			}
+		}
+	}
+	return best
+}
+
+// RegionsOnFloor returns the regions on floor f in insertion order.
+func (m *Model) RegionsOnFloor(f FloorID) []*SemanticRegion {
+	if fi := m.floors[f]; fi != nil {
+		return fi.regions
+	}
+	return nil
+}
+
+// PartitionsOnFloor returns the walkable entities on floor f.
+func (m *Model) PartitionsOnFloor(f FloorID) []*Entity {
+	if fi := m.floors[f]; fi != nil {
+		return fi.partitions
+	}
+	return nil
+}
+
+// AdjacentRegions returns the regions directly reachable from r through the
+// walkable topology (shared partitions or partitions joined by one door),
+// computed by Freeze. The Complementor restricts its inference paths to this
+// graph.
+func (m *Model) AdjacentRegions(r RegionID) []RegionID { return m.regAdj[r] }
+
+// MarshalJSON / file round-trip -------------------------------------------
+
+// modelJSON is the serialized form: only declarative state, no indexes.
+type modelJSON struct {
+	Name        string            `json:"name"`
+	FloorHeight float64           `json:"floorHeight"`
+	Entities    []*Entity         `json:"entities"`
+	Regions     []*SemanticRegion `json:"regions"`
+}
+
+// WriteTo serializes the model as indented JSON.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(modelJSON{m.Name, m.FloorHeight, m.Entities, m.Regions})
+	return 0, err
+}
+
+// Save writes the model to a JSON file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := m.WriteTo(f); err != nil {
+		return fmt.Errorf("dsm: save %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Read parses a model from JSON and freezes it.
+func Read(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("dsm: decode: %w", err)
+	}
+	m := &Model{Name: mj.Name, FloorHeight: mj.FloorHeight, Entities: mj.Entities, Regions: mj.Regions}
+	if err := m.Freeze(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Load reads a model from a JSON file and freezes it.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

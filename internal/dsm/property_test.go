@@ -1,0 +1,113 @@
+package dsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trips/internal/geom"
+)
+
+// Property: for same-floor walkable points, the indoor walking distance is
+// at least the Euclidean distance (walls can only lengthen a path, never
+// shorten it) and the distance is symmetric.
+func TestWalkingDistanceDominatesEuclidean(t *testing.T) {
+	m := newTestVenue(t)
+	f := func(seed uint32) bool {
+		st := seed
+		next := func(mod uint32) float64 {
+			st = st*1664525 + 1013904223
+			return float64(st%mod) + float64(st>>20%10)/10
+		}
+		a := geom.Pt(next(40), next(20))
+		b := geom.Pt(next(40), next(20))
+		// Snap both into walkable space first: the property concerns
+		// walkable endpoints.
+		pa, _, oka := m.SnapToWalkable(a, 1)
+		pb, _, okb := m.SnapToWalkable(b, 1)
+		if !oka || !okb {
+			return true
+		}
+		d1, ok1 := m.WalkingDistance(Location{pa, 1}, Location{pb, 1})
+		d2, ok2 := m.WalkingDistance(Location{pb, 1}, Location{pa, 1})
+		if !ok1 || !ok2 {
+			return false // the test venue is fully connected
+		}
+		if d1 < pa.Dist(pb)-1e-6 {
+			return false
+		}
+		return almostEq(d1, d2)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WalkingPath length is consistent with WalkingDistance for
+// same-floor queries (path legs sum to no less than the reported optimum,
+// within the snap slack).
+func TestWalkingPathConsistent(t *testing.T) {
+	m := newTestVenue(t)
+	f := func(seed uint32) bool {
+		st := seed
+		next := func(mod uint32) float64 {
+			st = st*1664525 + 1013904223
+			return float64(st % mod)
+		}
+		a := geom.Pt(next(40), next(20))
+		b := geom.Pt(next(40), next(20))
+		pa, _, oka := m.SnapToWalkable(a, 1)
+		pb, _, okb := m.SnapToWalkable(b, 1)
+		if !oka || !okb {
+			return true
+		}
+		d, ok := m.WalkingDistance(Location{pa, 1}, Location{pb, 1})
+		if !ok {
+			return false
+		}
+		path := m.WalkingPath(Location{pa, 1}, Location{pb, 1})
+		if len(path) < 2 {
+			return false
+		}
+		var sum float64
+		for i := 1; i < len(path); i++ {
+			sum += path[i-1].P.Dist(path[i].P)
+		}
+		// The path realizes the optimum within a small snapping slack.
+		return sum >= d-1e-6 && sum <= d+1.0
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RegionAt only ever returns a region whose shape contains the
+// probed point on the probed floor, and Locate only returns walkable
+// entities whose shape contains the point.
+func TestLocateRegionConsistency(t *testing.T) {
+	m := newTestVenue(t)
+	f := func(seed uint32) bool {
+		st := seed
+		next := func(mod uint32) float64 {
+			st = st*1664525 + 1013904223
+			return float64(st % mod)
+		}
+		p := geom.Pt(next(42)-1, next(22)-1)
+		if e := m.Locate(p, 1); e != nil {
+			if !e.Kind.Walkable() || !e.Shape.Contains(p) {
+				return false
+			}
+		}
+		if r := m.RegionAt(p, 1); r != nil {
+			if r.Floor != 1 || !r.Shape.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,419 @@
+package dsm
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"trips/internal/geom"
+)
+
+// The navigation graph ("door graph") realizes the minimum indoor walking
+// distance of paper ref. [13]: people move between walkable partitions only
+// through doors and change floors only through staircases/elevators. Nodes
+// are connector entities (doors and vertical shafts); two nodes are linked
+// when they touch a common partition, weighted by the Euclidean distance
+// between their centers within that partition; shaft nodes on adjacent
+// floors link vertically at a cost derived from the floor height.
+
+type navNode struct {
+	entity *Entity
+	center geom.Point
+	floor  FloorID
+}
+
+type navEdge struct {
+	to int
+	w  float64
+}
+
+type navGraph struct {
+	nodes []navNode
+	adj   [][]navEdge
+	// byPartition lists node indexes touching each walkable partition.
+	byPartition map[EntityID][]int
+}
+
+// doorTouchSlack is how far a door polygon may be from a partition polygon
+// and still be considered connected to it (door frames are drawn inside
+// walls, which are typically 0.2–0.4 m thick).
+const doorTouchSlack = 0.5
+
+// verticalCostFactor converts a storey height into an equivalent horizontal
+// walking distance (stairs are slower than level walking).
+const verticalCostFactor = 3.0
+
+func (m *Model) buildNavGraph() error {
+	g := &navGraph{byPartition: make(map[EntityID][]int)}
+
+	// Collect connector nodes: doors and vertical shafts.
+	shaftByGroup := make(map[string][]int) // vertical group -> node indexes
+	for _, e := range m.Entities {
+		switch {
+		case e.Kind == KindDoor:
+			idx := len(g.nodes)
+			g.nodes = append(g.nodes, navNode{e, e.Center(), e.Floor})
+			parts := m.doorPartitions(e)
+			if len(parts) == 0 {
+				return fmt.Errorf("dsm: door %s connects no walkable partition", e.ID)
+			}
+			for _, p := range parts {
+				g.byPartition[p.ID] = append(g.byPartition[p.ID], idx)
+			}
+		case e.Kind.Vertical():
+			idx := len(g.nodes)
+			g.nodes = append(g.nodes, navNode{e, e.Center(), e.Floor})
+			// A shaft is itself walkable, so it belongs to its own
+			// partition, and to any partition it touches (entry landing).
+			g.byPartition[e.ID] = append(g.byPartition[e.ID], idx)
+			for _, p := range m.touchingPartitions(e) {
+				g.byPartition[p.ID] = append(g.byPartition[p.ID], idx)
+			}
+			shaftByGroup[e.verticalGroup()] = append(shaftByGroup[e.verticalGroup()], idx)
+		}
+	}
+
+	g.adj = make([][]navEdge, len(g.nodes))
+
+	// Intra-partition edges: all connector nodes sharing a partition.
+	for _, idxs := range g.byPartition {
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				a, b := idxs[i], idxs[j]
+				w := g.nodes[a].center.Dist(g.nodes[b].center)
+				if w < 0.1 {
+					w = 0.1 // distinct doors are never free to travel between
+				}
+				g.adj[a] = append(g.adj[a], navEdge{b, w})
+				g.adj[b] = append(g.adj[b], navEdge{a, w})
+			}
+		}
+	}
+
+	// Vertical edges between shafts of the same group on adjacent floors.
+	for _, idxs := range shaftByGroup {
+		sort.Slice(idxs, func(i, j int) bool {
+			return g.nodes[idxs[i]].floor < g.nodes[idxs[j]].floor
+		})
+		for i := 1; i < len(idxs); i++ {
+			a, b := idxs[i-1], idxs[i]
+			df := float64(g.nodes[b].floor - g.nodes[a].floor)
+			w := math.Abs(df) * m.FloorHeight * verticalCostFactor
+			g.adj[a] = append(g.adj[a], navEdge{b, w})
+			g.adj[b] = append(g.adj[b], navEdge{a, w})
+		}
+	}
+
+	m.nav = g
+	return nil
+}
+
+// doorPartitions resolves the partitions a door connects: the explicit
+// Connects list when present, otherwise every walkable partition within
+// doorTouchSlack of the door shape on its floor.
+func (m *Model) doorPartitions(door *Entity) []*Entity {
+	if len(door.Connects) > 0 {
+		out := make([]*Entity, 0, len(door.Connects))
+		for _, id := range door.Connects {
+			if e := m.byID[id]; e != nil && e.Kind.Walkable() {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	return m.touchingPartitions(door)
+}
+
+// touchingPartitions returns walkable partitions whose shape comes within
+// doorTouchSlack of e's shape, excluding e itself.
+func (m *Model) touchingPartitions(e *Entity) []*Entity {
+	fi := m.floors[e.Floor]
+	if fi == nil {
+		return nil
+	}
+	var out []*Entity
+	query := e.Shape.Bounds().Expand(doorTouchSlack)
+	for _, i := range fi.partGrid.QueryRect(query) {
+		p := fi.partitions[i]
+		if p.ID == e.ID {
+			continue
+		}
+		if polygonsTouch(e.Shape, p.Shape, doorTouchSlack) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// polygonsTouch reports whether two polygons come within slack of each other.
+func polygonsTouch(a, b geom.Polygon, slack float64) bool {
+	for _, v := range a.Vertices {
+		if b.DistToPoint(v) <= slack {
+			return true
+		}
+	}
+	for _, v := range b.Vertices {
+		if a.DistToPoint(v) <= slack {
+			return true
+		}
+	}
+	for _, ea := range a.Edges() {
+		for _, eb := range b.Edges() {
+			if ea.DistToSegment(eb) <= slack {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Location pins a point to a floor; the unit of indoor positioning.
+type Location struct {
+	P     geom.Point
+	Floor FloorID
+}
+
+// WalkingDistance returns the minimum indoor walking distance between two
+// locations, respecting doors, walls and floors. Points outside walkable
+// space are snapped to the nearest partition first. The boolean is false
+// when no path exists (disconnected partitions or unknown floor).
+func (m *Model) WalkingDistance(from, to Location) (float64, bool) {
+	pa, ea, oka := m.SnapToWalkable(from.P, from.Floor)
+	pb, eb, okb := m.SnapToWalkable(to.P, to.Floor)
+	if !oka || !okb {
+		return 0, false
+	}
+	if ea.ID == eb.ID {
+		return pa.Dist(pb), true
+	}
+	g := m.nav
+	// Virtual source = pa connected to every connector of ea; likewise the
+	// target. Dijkstra from the source set.
+	dist := make([]float64, len(g.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	pq := &distHeap{}
+	for _, idx := range g.byPartition[ea.ID] {
+		d := pa.Dist(g.nodes[idx].center)
+		if d < dist[idx] {
+			dist[idx] = d
+			heap.Push(pq, distItem{idx, d})
+		}
+	}
+	targets := make(map[int]float64)
+	for _, idx := range g.byPartition[eb.ID] {
+		targets[idx] = pb.Dist(g.nodes[idx].center)
+	}
+	if pq.Len() == 0 || len(targets) == 0 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		if it.d >= best {
+			break
+		}
+		if tail, ok := targets[it.node]; ok {
+			if v := it.d + tail; v < best {
+				best = v
+			}
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distItem{e.to, nd})
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// WalkingPath returns the sequence of connector points (door and shaft
+// centers) on a minimum walking path between the two locations, including
+// the snapped endpoints, or nil when unreachable. The Cleaner interpolates
+// repaired locations along this path.
+func (m *Model) WalkingPath(from, to Location) []Location {
+	pa, ea, oka := m.SnapToWalkable(from.P, from.Floor)
+	pb, eb, okb := m.SnapToWalkable(to.P, to.Floor)
+	if !oka || !okb {
+		return nil
+	}
+	if ea.ID == eb.ID {
+		return []Location{{pa, from.Floor}, {pb, to.Floor}}
+	}
+	g := m.nav
+	dist := make([]float64, len(g.nodes))
+	prev := make([]int, len(g.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	pq := &distHeap{}
+	for _, idx := range g.byPartition[ea.ID] {
+		d := pa.Dist(g.nodes[idx].center)
+		if d < dist[idx] {
+			dist[idx] = d
+			heap.Push(pq, distItem{idx, d})
+		}
+	}
+	targets := make(map[int]float64)
+	for _, idx := range g.byPartition[eb.ID] {
+		targets[idx] = pb.Dist(g.nodes[idx].center)
+	}
+	bestNode, best := -1, math.Inf(1)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		if it.d >= best {
+			break
+		}
+		if tail, ok := targets[it.node]; ok {
+			if v := it.d + tail; v < best {
+				best, bestNode = v, it.node
+			}
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = it.node
+				heap.Push(pq, distItem{e.to, nd})
+			}
+		}
+	}
+	if bestNode < 0 {
+		return nil
+	}
+	var rev []Location
+	for n := bestNode; n >= 0; n = prev[n] {
+		rev = append(rev, Location{g.nodes[n].center, g.nodes[n].floor})
+	}
+	path := make([]Location, 0, len(rev)+2)
+	path = append(path, Location{pa, from.Floor})
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	path = append(path, Location{pb, to.Floor})
+	return path
+}
+
+// Reachable reports whether any walking path connects the two locations.
+func (m *Model) Reachable(from, to Location) bool {
+	_, ok := m.WalkingDistance(from, to)
+	return ok
+}
+
+// buildRegionAdjacency derives the semantic-region connectivity: two regions
+// are adjacent when a partition of one is a partition of the other, when a
+// door directly joins partitions of the two, or when both cover the same
+// vertical shaft group. Mere geometric contact does NOT make regions
+// adjacent: two shops sharing a wall are not mutually reachable without
+// passing whatever joins their doors, and the Complementor's inference
+// paths must respect that.
+func (m *Model) buildRegionAdjacency() {
+	m.regAdj = make(map[RegionID][]RegionID, len(m.Regions))
+	// partition -> regions covering it
+	cover := make(map[EntityID][]RegionID)
+	for _, r := range m.Regions {
+		for _, eid := range r.Entities {
+			cover[eid] = append(cover[eid], r.ID)
+		}
+	}
+	addPair := func(a, b RegionID) {
+		if a == b {
+			return
+		}
+		for _, x := range m.regAdj[a] {
+			if x == b {
+				return
+			}
+		}
+		m.regAdj[a] = append(m.regAdj[a], b)
+		m.regAdj[b] = append(m.regAdj[b], a)
+	}
+	// Shared partitions.
+	for _, regs := range cover {
+		for i := 0; i < len(regs); i++ {
+			for j := i + 1; j < len(regs); j++ {
+				addPair(regs[i], regs[j])
+			}
+		}
+	}
+	// Door-joined partitions.
+	for _, e := range m.Entities {
+		if e.Kind != KindDoor {
+			continue
+		}
+		parts := m.doorPartitions(e)
+		for i := 0; i < len(parts); i++ {
+			for j := i + 1; j < len(parts); j++ {
+				for _, ra := range cover[parts[i].ID] {
+					for _, rb := range cover[parts[j].ID] {
+						addPair(ra, rb)
+					}
+				}
+			}
+		}
+	}
+	// Shared vertical shafts across floors.
+	shaftRegions := make(map[string][]RegionID)
+	for _, e := range m.Entities {
+		if !e.Kind.Vertical() {
+			continue
+		}
+		for _, rid := range cover[e.ID] {
+			shaftRegions[e.verticalGroup()] = append(shaftRegions[e.verticalGroup()], rid)
+		}
+	}
+	for _, regs := range shaftRegions {
+		for i := 0; i < len(regs); i++ {
+			for j := i + 1; j < len(regs); j++ {
+				addPair(regs[i], regs[j])
+			}
+		}
+	}
+	// Deterministic neighbor order.
+	for id := range m.regAdj {
+		sort.Slice(m.regAdj[id], func(i, j int) bool { return m.regAdj[id][i] < m.regAdj[id][j] })
+	}
+}
+
+// RegionDistance returns the walking distance between the centers of two
+// regions, or false when unreachable. The Complementor prices candidate
+// paths with it.
+func (m *Model) RegionDistance(a, b RegionID) (float64, bool) {
+	ra, rb := m.regByID[a], m.regByID[b]
+	if ra == nil || rb == nil {
+		return 0, false
+	}
+	return m.WalkingDistance(Location{ra.Center(), ra.Floor}, Location{rb.Center(), rb.Floor})
+}
+
+// distHeap is a binary min-heap for Dijkstra.
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"time"
+
+	"trips/internal/complement"
+	"trips/internal/dsm"
+	"trips/internal/floorplan"
+	"trips/internal/position"
+	"trips/internal/semantics"
+	"trips/internal/simul"
+)
+
+// E1 regenerates Table 1: one shopper's raw records beside the translated
+// mobility semantics, plus the conciseness ratios the paper motivates and
+// the agreement against ground truth (which the demo assesses visually).
+func E1(env *Env) (Report, error) {
+	// A fixed Adidas → Nike → Cashier itinerary echoing the paper's
+	// example shopper oi.
+	regs := []string{"Adidas", "Nike", "Cashier"}
+	visits := make([]simul.Visit, 0, len(regs))
+	for _, tag := range regs {
+		r := env.Model.RegionByTag(tag)
+		if r == nil {
+			return Report{}, fmt.Errorf("e1: region %q missing", tag)
+		}
+		visits = append(visits, simul.Visit{Region: r.ID, Stay: 6 * time.Minute})
+	}
+	truth, err := env.Sim.SimulateVisit("oi", Start.Add(3*time.Hour+2*time.Minute), visits)
+	if err != nil {
+		return Report{}, err
+	}
+	raw := env.Sim.Observe(truth, simul.DefaultErrorModel())
+	res := env.Trans.TranslateOne(raw, nil)
+	rep := semantics.Compare(res.Final, truth.Semantics, 5*time.Second)
+
+	out := Report{
+		ID:    "E1",
+		Title: "Table 1 — raw indoor positioning data vs. mobility semantics",
+		Cols:  []string{"raw record (head)", "mobility semantics"},
+	}
+	n := res.Final.Len()
+	for i := 0; i < max(3, n); i++ {
+		var left, right string
+		if i < raw.Len() {
+			left = raw.Records[i].String()
+		}
+		if i == max(3, n)-1 && raw.Len() > max(3, n) {
+			left = fmt.Sprintf("... (%d more records)", raw.Len()-i)
+		}
+		if i < n {
+			right = res.Final.Triplets[i].String()
+		}
+		out.Rows = append(out.Rows, []string{left, right})
+	}
+	out.Notes = []string{
+		fmt.Sprintf("conciseness: %.1f records/triplet, %.1fx byte compression",
+			res.Conciseness.RecordsPerTriplet, res.Conciseness.ByteRatio),
+		fmt.Sprintf("vs ground truth: time agreement %s, event agreement %s, F1 %s",
+			pc(rep.TimeAgreement), pc(rep.EventAgreement), f2(rep.F1)),
+	}
+	return out, nil
+}
+
+// E2 measures Figure 1's dataflow as per-stage throughput: records/second
+// through the Cleaner, the Annotator and the Complementor, plus end-to-end.
+func E2(env *Env) (Report, error) {
+	seqs := env.Raw.Sequences()
+	total := env.Raw.NumRecords()
+
+	tClean := time.Duration(0)
+	cleaned := make([]*position.Sequence, len(seqs))
+	for i, s := range seqs {
+		st := time.Now()
+		cleaned[i], _ = env.Trans.Cleaner.Clean(s)
+		tClean += time.Since(st)
+	}
+	tAnn := time.Duration(0)
+	annotated := make([]*semantics.Sequence, len(seqs))
+	for i, s := range cleaned {
+		st := time.Now()
+		annotated[i] = env.Trans.Annotator.Annotate(s)
+		tAnn += time.Since(st)
+	}
+	tComp := time.Duration(0)
+	st := time.Now()
+	know := buildKnowledge(env, annotated)
+	tKnow := time.Since(st)
+	inserted := 0
+	for _, s := range annotated {
+		st := time.Now()
+		comp := *env.Trans.Complementor
+		comp.Know = know
+		_, n := comp.Complement(s)
+		tComp += time.Since(st)
+		inserted += n
+	}
+
+	rate := func(d time.Duration) string {
+		if d <= 0 {
+			return "inf"
+		}
+		return fmt.Sprintf("%.0f", float64(total)/d.Seconds())
+	}
+	out := Report{
+		ID:    "E2",
+		Title: "Figure 1 — per-stage throughput of the translation dataflow",
+		Cols:  []string{"stage", "time", "records/s", "output"},
+		Rows: [][]string{
+			{"cleaning", d(tClean), rate(tClean), fmt.Sprintf("%d cleaned records", total)},
+			{"annotation", d(tAnn), rate(tAnn), fmt.Sprintf("%d triplets", countTriplets(annotated))},
+			{"knowledge", d(tKnow), rate(tKnow), fmt.Sprintf("%d transitions", know.Observations())},
+			{"complementing", d(tComp), rate(tComp), fmt.Sprintf("%d inferred triplets", inserted)},
+		},
+		Notes: []string{fmt.Sprintf("%d devices, %d raw records", len(seqs), total)},
+	}
+	return out, nil
+}
+
+func countTriplets(seqs []*semantics.Sequence) int {
+	n := 0
+	for _, s := range seqs {
+		n += s.Len()
+	}
+	return n
+}
+
+// E3 measures Figure 2's outcome: DSM creation — programmatic drawing (the
+// mall generator plays the analyst) and raster floorplan tracing — with
+// venue size sweep and topology timing.
+func E3() (Report, error) {
+	out := Report{
+		ID:    "E3",
+		Title: "Figure 2 — DSM creation from floorplans (drawing + tracing)",
+		Cols:  []string{"source", "floors", "entities", "regions", "build time", "connected"},
+	}
+	for _, floors := range []int{1, 3, 7} {
+		st := time.Now()
+		m, err := simul.BuildMall(simul.MallSpec{Floors: floors, ShopsPerFloor: 8})
+		if err != nil {
+			return out, err
+		}
+		el := time.Since(st)
+		conn := "yes"
+		if floors > 1 {
+			lo := m.RegionsOnFloor(1)[0]
+			hiF := dsm.FloorID(floors)
+			hi := m.RegionsOnFloor(hiF)[0]
+			if !m.Reachable(dsm.Location{P: lo.Center(), Floor: 1}, dsm.Location{P: hi.Center(), Floor: hiF}) {
+				conn = "NO"
+			}
+		}
+		out.Rows = append(out.Rows, []string{
+			"drawn mall", fmt.Sprint(floors), fmt.Sprint(len(m.Entities)),
+			fmt.Sprint(len(m.Regions)), d(el), conn,
+		})
+	}
+	// Raster tracing of a synthetic floorplan image.
+	img := SyntheticFloorplan(400, 240)
+	st := time.Now()
+	canvas, err := floorplan.Trace(img, 1, floorplan.DefaultTraceOptions())
+	if err != nil {
+		return out, err
+	}
+	m, err := floorplan.Build("traced", floorplan.BuildOptions{}, canvas)
+	if err != nil {
+		return out, err
+	}
+	el := time.Since(st)
+	out.Rows = append(out.Rows, []string{
+		"traced image", "1", fmt.Sprint(len(m.Entities)), fmt.Sprint(len(m.Regions)), d(el), "yes",
+	})
+	out.Notes = []string{"traced image: 400x240 px at 0.25 m/px, rooms + corridor + door gaps"}
+	return out, nil
+}
+
+// SyntheticFloorplan paints a floorplan raster: a corridor along the bottom
+// and a row of rooms above it, door gaps marked mid-gray.
+func SyntheticFloorplan(w, h int) *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	fill := func(x0, y0, x1, y1 int, v uint8) {
+		for y := y0; y < y1 && y < h; y++ {
+			for x := x0; x < x1 && x < w; x++ {
+				img.SetGray(x, y, color.Gray{Y: v})
+			}
+		}
+	}
+	corridorTop := h / 3
+	fill(4, 4, w-4, corridorTop, 255) // corridor
+	rooms := 4
+	rw := (w - 8) / rooms
+	for i := 0; i < rooms; i++ {
+		x0 := 4 + i*rw
+		fill(x0+4, corridorTop+4, x0+rw-4, h-4, 255)                // room
+		fill(x0+rw/2-6, corridorTop, x0+rw/2+6, corridorTop+4, 128) // door gap
+	}
+	return img
+}
+
+func buildKnowledge(env *Env, seqs []*semantics.Sequence) *complement.Knowledge {
+	return complement.BuildKnowledge(env.Model, seqs, env.Trans.KnowledgeJoinGap)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E6 runs the five-step workflow of Figures 5–6 end to end and reports one
+// row per step — the walk-through as a reproducible experiment.
+func E6(env *Env) (Report, error) {
+	out := Report{
+		ID:    "E6",
+		Title: "Figures 5–6 — five-step workflow walk-through",
+		Cols:  []string{"step", "action", "outcome"},
+	}
+	// (1) Data Selector: operating hours 10:00–22:00.
+	sel := selectOperatingHours(env.Raw)
+	out.Rows = append(out.Rows, []string{"1", "Data Selector: daily window 10–22, ≥20 records",
+		fmt.Sprintf("%d of %d devices selected", sel.NumDevices(), env.Raw.NumDevices())})
+	// (2) Space Modeler: the DSM (generated here; drawn/traced in E3).
+	out.Rows = append(out.Rows, []string{"2", "Space Modeler: DSM loaded",
+		fmt.Sprintf("%d entities, %d regions, %d floors", len(env.Model.Entities), len(env.Model.Regions), len(env.Model.Floors()))})
+	// (3) Event Editor: patterns + training data.
+	counts := env.Editor.TrainingSet().Counts()
+	out.Rows = append(out.Rows, []string{"3", "Event Editor: designate training segments",
+		fmt.Sprintf("stay=%d pass-by=%d segments", counts[semantics.EventStay], counts[semantics.EventPassBy])})
+	// (4) Translator.
+	st := time.Now()
+	results := env.Trans.Translate(sel)
+	el := time.Since(st)
+	triplets, inferred := 0, 0
+	for _, r := range results {
+		triplets += r.Final.Len()
+		inferred += r.Inserted
+	}
+	out.Rows = append(out.Rows, []string{"4", "Translator: clean + annotate + complement",
+		fmt.Sprintf("%d triplets (%d inferred) in %s", triplets, inferred, d(el))})
+	// (5) Viewer assessment vs ground truth.
+	rep := meanReport(results, env.Truths)
+	out.Rows = append(out.Rows, []string{"5", "Viewer: assess vs ground truth",
+		fmt.Sprintf("time agreement %s, F1 %s", pc(rep.TimeAgreement), f2(rep.F1))})
+	return out, nil
+}
+
+func selectOperatingHours(ds *position.Dataset) *position.Dataset {
+	out := position.NewDataset()
+	for _, s := range ds.Sequences() {
+		trimmed := position.NewSequence(s.Device)
+		for _, r := range s.Records {
+			if h := r.At.Hour(); h >= 10 && h < 22 {
+				trimmed.Append(r)
+			}
+		}
+		if trimmed.Len() >= 20 {
+			out.AddSequence(trimmed)
+		}
+	}
+	return out
+}

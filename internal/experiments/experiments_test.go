@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"trips/internal/simul"
+)
+
+// smallEnv keeps experiment tests fast.
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	spec := EnvSpec{Floors: 2, Shops: 4, Devices: 6, Seed: 4,
+		Window: time.Hour, Errors: simul.DefaultErrorModel()}
+	env, err := NewEnv(spec)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		ID: "EX", Title: "demo", Notes: []string{"note"},
+		Cols: []string{"a", "long-column"},
+		Rows: [][]string{{"1", "2"}, {"wide-cell", "3"}},
+	}
+	s := r.String()
+	for _, want := range []string{"EX", "demo", "note", "long-column", "wide-cell"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE1(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := E1(env)
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if len(rep.Rows) < 3 || len(rep.Notes) != 2 {
+		t.Errorf("E1 report shape: %d rows, %d notes", len(rep.Rows), len(rep.Notes))
+	}
+	if !strings.Contains(rep.Notes[0], "records/triplet") {
+		t.Errorf("conciseness note = %q", rep.Notes[0])
+	}
+}
+
+func TestE2(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := E2(env)
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("E2 rows = %d", len(rep.Rows))
+	}
+	stages := []string{"cleaning", "annotation", "knowledge", "complementing"}
+	for i, row := range rep.Rows {
+		if row[0] != stages[i] {
+			t.Errorf("row %d stage = %q", i, row[0])
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	rep, err := E3()
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("E3 rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[5] != "yes" {
+			t.Errorf("venue %s not connected", row[0])
+		}
+	}
+}
+
+func TestE4a(t *testing.T) {
+	env := smallEnv(t)
+	rep, err := E4a(env)
+	if err != nil {
+		t.Fatalf("E4a: %v", err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("E4a rows = %d", len(rep.Rows))
+	}
+	// The ablation row is marked.
+	if !strings.Contains(rep.Rows[3][0], "euclid") {
+		t.Errorf("ablation row = %v", rep.Rows[3])
+	}
+}
+
+func TestE4bAndE4c(t *testing.T) {
+	env := smallEnv(t)
+	repB, err := E4b(env)
+	if err != nil {
+		t.Fatalf("E4b: %v", err)
+	}
+	if len(repB.Rows) != 3 {
+		t.Errorf("E4b rows = %d", len(repB.Rows))
+	}
+	repC, err := E4c(env)
+	if err != nil {
+		t.Fatalf("E4c: %v", err)
+	}
+	if len(repC.Rows) != 3 {
+		t.Errorf("E4c rows = %d", len(repC.Rows))
+	}
+}
+
+func TestE5AndE6(t *testing.T) {
+	env := smallEnv(t)
+	rep5, err := E5(env)
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	if len(rep5.Rows) != 3 {
+		t.Errorf("E5 rows = %d", len(rep5.Rows))
+	}
+	rep6, err := E6(env)
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	if len(rep6.Rows) != 5 {
+		t.Errorf("E6 rows = %d", len(rep6.Rows))
+	}
+}
+
+func TestSyntheticFloorplanClasses(t *testing.T) {
+	img := SyntheticFloorplan(100, 60)
+	// Contains all three pixel classes.
+	var wall, door, free bool
+	for y := 0; y < 60; y++ {
+		for x := 0; x < 100; x++ {
+			switch v := img.GrayAt(x, y).Y; {
+			case v < 80:
+				wall = true
+			case v < 200:
+				door = true
+			default:
+				free = true
+			}
+		}
+	}
+	if !wall || !door || !free {
+		t.Errorf("classes: wall=%v door=%v free=%v", wall, door, free)
+	}
+}

@@ -1,0 +1,288 @@
+package floorplan
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"sort"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+)
+
+// The raster tracer semi-automates step (2) of the Space Modeler flow: given
+// a floorplan image it extracts walkable partitions and doors as drawn
+// shapes on a Canvas, which the analyst then refines and tags. The image
+// convention follows annotated floorplans: dark pixels are walls, light
+// pixels are free space, and mid-gray pixels mark door openings.
+
+// TraceOptions parameterize the raster tracer.
+type TraceOptions struct {
+	// MetersPerPixel scales pixel coordinates into meters (default 0.25).
+	MetersPerPixel float64
+	// WallBelow: luminance strictly below this is wall (default 80).
+	WallBelow uint8
+	// DoorBelow: luminance in [WallBelow, DoorBelow) is a door opening
+	// (default 200); at or above is free space.
+	DoorBelow uint8
+	// MinRoomArea drops free-space specks smaller than this many square
+	// meters (default 1.0).
+	MinRoomArea float64
+}
+
+// DefaultTraceOptions returns the standard tracer settings.
+func DefaultTraceOptions() TraceOptions {
+	return TraceOptions{MetersPerPixel: 0.25, WallBelow: 80, DoorBelow: 200, MinRoomArea: 1.0}
+}
+
+type pixelClass uint8
+
+const (
+	classWall pixelClass = iota
+	classDoor
+	classFree
+)
+
+// Trace extracts a Canvas from a floorplan image: the largest free-space
+// component becomes the hallway, the remaining components rooms, and door
+// pixel clusters door entities. The caller assigns names and semantic tags
+// afterward, completing the semi-automatic flow.
+func Trace(img image.Image, floor dsm.FloorID, opts TraceOptions) (*Canvas, error) {
+	if opts.MetersPerPixel <= 0 {
+		opts.MetersPerPixel = 0.25
+	}
+	if opts.WallBelow == 0 {
+		opts.WallBelow = 80
+	}
+	if opts.DoorBelow <= opts.WallBelow {
+		opts.DoorBelow = 200
+	}
+	if opts.MinRoomArea <= 0 {
+		opts.MinRoomArea = 1.0
+	}
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	if w == 0 || h == 0 {
+		return nil, fmt.Errorf("floorplan: empty image")
+	}
+
+	// Classify pixels.
+	cls := make([]pixelClass, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			lum := luminance(img.At(b.Min.X+x, b.Min.Y+y))
+			switch {
+			case lum < opts.WallBelow:
+				cls[y*w+x] = classWall
+			case lum < opts.DoorBelow:
+				cls[y*w+x] = classDoor
+			default:
+				cls[y*w+x] = classFree
+			}
+		}
+	}
+
+	freeComps := components(cls, w, h, classFree)
+	doorComps := components(cls, w, h, classDoor)
+	if len(freeComps) == 0 {
+		return nil, fmt.Errorf("floorplan: no free space found")
+	}
+
+	// Largest free component is the hallway.
+	sort.Slice(freeComps, func(i, j int) bool { return len(freeComps[i]) > len(freeComps[j]) })
+
+	canvas := NewCanvas(floor)
+	canvas.SnapRadius = 0 // traced coordinates are already aligned
+	scale := opts.MetersPerPixel
+	minPixels := int(opts.MinRoomArea / (scale * scale))
+
+	roomN := 0
+	for i, comp := range freeComps {
+		if len(comp) < minPixels {
+			continue
+		}
+		poly := componentPolygon(comp, w, scale)
+		if poly.Validate() != nil {
+			continue
+		}
+		kind := dsm.KindRoom
+		name := fmt.Sprintf("room-%d", roomN)
+		if i == 0 {
+			kind = dsm.KindHallway
+			name = "hallway"
+		} else {
+			roomN++
+		}
+		if _, err := canvas.DrawPolygon(kind, name, poly.Vertices...); err != nil {
+			return nil, err
+		}
+	}
+	for i, comp := range doorComps {
+		if len(comp) == 0 {
+			continue
+		}
+		poly := componentPolygon(comp, w, scale)
+		if poly.Validate() != nil {
+			continue
+		}
+		name := fmt.Sprintf("door-%d", i)
+		if _, err := canvas.DrawPolygon(dsm.KindDoor, name, poly.Vertices...); err != nil {
+			return nil, err
+		}
+	}
+	return canvas, nil
+}
+
+// luminance converts a color to 8-bit luma.
+func luminance(c color.Color) uint8 {
+	r, g, b, _ := c.RGBA()
+	// Rec. 601 luma on 16-bit channels.
+	return uint8((299*r + 587*g + 114*b) / 1000 >> 8)
+}
+
+// components returns the 4-connected components of pixels with the given
+// class, each as a list of indexes y*w+x.
+func components(cls []pixelClass, w, h int, want pixelClass) [][]int {
+	seen := make([]bool, len(cls))
+	var comps [][]int
+	var stack []int
+	for start := range cls {
+		if seen[start] || cls[start] != want {
+			continue
+		}
+		var comp []int
+		stack = append(stack[:0], start)
+		seen[start] = true
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, i)
+			x, y := i%w, i/w
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				j := ny*w + nx
+				if !seen[j] && cls[j] == want {
+					seen[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// componentPolygon traces the outer boundary of a pixel component and
+// returns it as a simplified polygon in meters. The boundary is the chain
+// of unit edges that have a component pixel on exactly one side, followed
+// counter-clockwise (component on the left).
+func componentPolygon(comp []int, w int, scale float64) geom.Polygon {
+	inside := make(map[[2]int]bool, len(comp))
+	for _, i := range comp {
+		inside[[2]int{i % w, i / w}] = true
+	}
+	// Directed boundary edges keyed by start corner. Corners are pixel
+	// lattice points.
+	type corner = [2]int
+	next := make(map[corner][]corner)
+	addEdge := func(a, b corner) { next[a] = append(next[a], b) }
+	for c := range inside {
+		x, y := c[0], c[1]
+		if !inside[[2]int{x, y - 1}] { // top edge, inside below: left→right
+			addEdge(corner{x, y}, corner{x + 1, y})
+		}
+		if !inside[[2]int{x + 1, y}] { // right edge: top→bottom
+			addEdge(corner{x + 1, y}, corner{x + 1, y + 1})
+		}
+		if !inside[[2]int{x, y + 1}] { // bottom edge: right→left
+			addEdge(corner{x + 1, y + 1}, corner{x, y + 1})
+		}
+		if !inside[[2]int{x - 1, y}] { // left edge: bottom→top
+			addEdge(corner{x, y + 1}, corner{x, y})
+		}
+	}
+	if len(next) == 0 {
+		return geom.Polygon{}
+	}
+	// Start at the lexicographically smallest corner (guaranteed on the
+	// outer ring) and follow edges; at ambiguous corners prefer the
+	// left-most turn to stay on the outer boundary.
+	start := corner{1 << 30, 1 << 30}
+	for c := range next {
+		if c[1] < start[1] || (c[1] == start[1] && c[0] < start[0]) {
+			start = c
+		}
+	}
+	var ring []corner
+	cur := start
+	var dir [2]int // incoming direction
+	for {
+		ring = append(ring, cur)
+		cands := next[cur]
+		if len(cands) == 0 {
+			break
+		}
+		best := cands[0]
+		if len(cands) > 1 && (dir != [2]int{}) {
+			// Pick the candidate that turns most to the left of dir.
+			bestScore := -3
+			for _, cd := range cands {
+				nd := [2]int{cd[0] - cur[0], cd[1] - cur[1]}
+				score := turnScore(dir, nd)
+				if score > bestScore {
+					bestScore, best = score, cd
+				}
+			}
+		}
+		// Consume the chosen edge.
+		list := next[cur]
+		for i, cd := range list {
+			if cd == best {
+				next[cur] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		dir = [2]int{best[0] - cur[0], best[1] - cur[1]}
+		cur = best
+		if cur == start {
+			break
+		}
+		if len(ring) > 4*len(comp)+8 {
+			break // safety against malformed chains
+		}
+	}
+	// Collapse collinear runs and scale.
+	pts := make([]geom.Point, 0, len(ring))
+	for i, c := range ring {
+		if i > 0 && i < len(ring)-1 {
+			a, b, d := ring[i-1], ring[i], ring[i+1]
+			if (b[0]-a[0])*(d[1]-b[1]) == (b[1]-a[1])*(d[0]-b[0]) {
+				continue // collinear
+			}
+		}
+		pts = append(pts, geom.Pt(float64(c[0])*scale, float64(c[1])*scale))
+	}
+	return geom.Polygon{Vertices: pts}
+}
+
+// turnScore ranks the turn from direction a to b: left turn 2, straight 1,
+// right turn 0, reverse -1. In image coordinates (y down) a counter-
+// clockwise boundary with the inside on the left keeps left turns tight at
+// pinch corners.
+func turnScore(a, b [2]int) int {
+	cross := a[0]*b[1] - a[1]*b[0]
+	dot := a[0]*b[0] + a[1]*b[1]
+	switch {
+	case cross < 0:
+		return 2
+	case cross == 0 && dot > 0:
+		return 1
+	case cross > 0:
+		return 0
+	default:
+		return -1
+	}
+}

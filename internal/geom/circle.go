@@ -1,0 +1,95 @@
+package geom
+
+import "math"
+
+// Circle is a disk with a center and radius, used by the Space Modeler
+// drawing tool (e.g. kiosks, pillars) and by covering-range features.
+type Circle struct {
+	Center Point   `json:"center"`
+	Radius float64 `json:"radius"`
+}
+
+// Circ is shorthand for Circle{c, r}.
+func Circ(c Point, r float64) Circle { return Circle{Center: c, Radius: r} }
+
+// Area returns the disk area.
+func (c Circle) Area() float64 { return math.Pi * c.Radius * c.Radius }
+
+// Contains reports whether p lies inside or on the circle.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist(p) <= c.Radius+Eps
+}
+
+// DistToPoint returns the distance from p to the disk: zero when inside.
+func (c Circle) DistToPoint(p Point) float64 {
+	d := c.Center.Dist(p) - c.Radius
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Bounds returns the bounding rectangle of the circle.
+func (c Circle) Bounds() Rect {
+	return Rect{
+		Min: Point{c.Center.X - c.Radius, c.Center.Y - c.Radius},
+		Max: Point{c.Center.X + c.Radius, c.Center.Y + c.Radius},
+	}
+}
+
+// ToPolygon approximates the circle by a regular n-gon (n >= 3). The Space
+// Modeler converts drawn circles to polygons when saving the DSM so that all
+// entities share one geometry representation.
+func (c Circle) ToPolygon(n int) Polygon {
+	if n < 3 {
+		n = 3
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts = append(pts, Point{
+			X: c.Center.X + c.Radius*math.Cos(a),
+			Y: c.Center.Y + c.Radius*math.Sin(a),
+		})
+	}
+	return Polygon{Vertices: pts}
+}
+
+// IntersectsCircle reports whether the two disks overlap or touch.
+func (c Circle) IntersectsCircle(d Circle) bool {
+	return c.Center.Dist(d.Center) <= c.Radius+d.Radius+Eps
+}
+
+// MinEnclosingCircle returns a small circle covering all pts. It uses the
+// bounding-box center heuristic followed by a radius fix-up, which is exact
+// enough for the covering-range movement feature (a few percent above the
+// optimum in the worst case, deterministic, O(n)).
+func MinEnclosingCircle(pts []Point) Circle {
+	if len(pts) == 0 {
+		return Circle{}
+	}
+	c := BoundsOf(pts).Center()
+	var r float64
+	for _, p := range pts {
+		if d := c.Dist(p); d > r {
+			r = d
+		}
+	}
+	// One refinement pass: move toward the farthest point to shrink radius.
+	for iter := 0; iter < 16; iter++ {
+		var far Point
+		r = 0
+		for _, p := range pts {
+			if d := c.Dist(p); d > r {
+				r, far = d, p
+			}
+		}
+		c = c.Lerp(far, 0.05)
+	}
+	for _, p := range pts {
+		if d := c.Dist(p); d > r {
+			r = d
+		}
+	}
+	return Circle{Center: c, Radius: r}
+}

@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCircleBasics(t *testing.T) {
+	c := Circ(Pt(0, 0), 2)
+	if !almost(c.Area(), 4*math.Pi) {
+		t.Errorf("area = %v", c.Area())
+	}
+	if !c.Contains(Pt(1, 1)) || !c.Contains(Pt(2, 0)) {
+		t.Error("Contains failed for interior/boundary")
+	}
+	if c.Contains(Pt(2.1, 0)) {
+		t.Error("Contains accepted exterior point")
+	}
+	if d := c.DistToPoint(Pt(5, 0)); !almost(d, 3) {
+		t.Errorf("dist = %v", d)
+	}
+	if d := c.DistToPoint(Pt(1, 0)); d != 0 {
+		t.Errorf("interior dist = %v", d)
+	}
+	b := c.Bounds()
+	if !b.Min.Eq(Pt(-2, -2)) || !b.Max.Eq(Pt(2, 2)) {
+		t.Errorf("bounds = %v", b)
+	}
+}
+
+func TestCircleToPolygon(t *testing.T) {
+	c := Circ(Pt(3, 3), 1)
+	pg := c.ToPolygon(64)
+	if len(pg.Vertices) != 64 {
+		t.Fatalf("vertices = %d", len(pg.Vertices))
+	}
+	// Polygon area approaches pi*r^2 from below.
+	if a := pg.Area(); a > c.Area() || a < 0.98*c.Area() {
+		t.Errorf("polygon area = %v vs circle %v", a, c.Area())
+	}
+	if !pg.Contains(Pt(3, 3)) {
+		t.Error("polygonized circle should contain its center")
+	}
+	// Clamping of small n.
+	if got := c.ToPolygon(2); len(got.Vertices) != 3 {
+		t.Errorf("ToPolygon(2) vertices = %d, want 3", len(got.Vertices))
+	}
+}
+
+func TestCircleIntersectsCircle(t *testing.T) {
+	a := Circ(Pt(0, 0), 2)
+	if !a.IntersectsCircle(Circ(Pt(3, 0), 1.5)) {
+		t.Error("overlapping circles should intersect")
+	}
+	if !a.IntersectsCircle(Circ(Pt(3, 0), 1)) {
+		t.Error("touching circles should intersect")
+	}
+	if a.IntersectsCircle(Circ(Pt(10, 0), 1)) {
+		t.Error("distant circles should not intersect")
+	}
+}
+
+func TestMinEnclosingCircle(t *testing.T) {
+	if c := MinEnclosingCircle(nil); c.Radius != 0 {
+		t.Errorf("empty MEC = %v", c)
+	}
+	pts := []Point{Pt(0, 0), Pt(4, 0), Pt(2, 3), Pt(2, 1)}
+	c := MinEnclosingCircle(pts)
+	for _, p := range pts {
+		if !c.Contains(p) {
+			t.Errorf("MEC does not contain %v (c=%v)", p, c)
+		}
+	}
+	// Heuristic bound: the optimum for these points has radius about 2.17;
+	// allow 15% slack.
+	if c.Radius > 2.17*1.15 {
+		t.Errorf("MEC radius %v too loose", c.Radius)
+	}
+}
+
+func TestGridIndexQueryPoint(t *testing.T) {
+	g := NewGridIndex(2)
+	g.Insert(0, NewRect(Pt(0, 0), Pt(4, 4)))
+	g.Insert(1, NewRect(Pt(3, 3), Pt(8, 8)))
+	g.Insert(2, NewRect(Pt(20, 20), Pt(22, 22)))
+
+	ids := g.QueryPoint(Pt(1, 1))
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("QueryPoint(1,1) = %v", ids)
+	}
+	ids = g.QueryPoint(Pt(3.5, 3.5))
+	if len(ids) != 2 {
+		t.Errorf("QueryPoint overlap = %v", ids)
+	}
+	if ids := g.QueryPoint(Pt(-5, -5)); len(ids) != 0 {
+		t.Errorf("QueryPoint outside = %v", ids)
+	}
+}
+
+func TestGridIndexQueryRect(t *testing.T) {
+	g := NewGridIndex(2)
+	for i := 0; i < 10; i++ {
+		x := float64(i * 5)
+		g.Insert(i, NewRect(Pt(x, 0), Pt(x+2, 2)))
+	}
+	ids := g.QueryRect(NewRect(Pt(4, 0), Pt(13, 2)))
+	// Items 1 (5..7), 2 (10..12) intersect; item 0 (0..2) does not reach 4.
+	want := map[int]bool{1: true, 2: true}
+	if len(ids) != len(want) {
+		t.Fatalf("QueryRect = %v", ids)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected id %d", id)
+		}
+	}
+	if ids := g.QueryRect(EmptyRect()); ids != nil {
+		t.Error("QueryRect(empty) should be nil")
+	}
+	if g.Len() != 10 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestGridIndexZeroCellSize(t *testing.T) {
+	g := NewGridIndex(0) // falls back to 1m cells
+	g.Insert(0, NewRect(Pt(0, 0), Pt(1, 1)))
+	if ids := g.QueryPoint(Pt(0.5, 0.5)); len(ids) != 1 {
+		t.Errorf("fallback cell size broken: %v", ids)
+	}
+}

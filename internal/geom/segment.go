@@ -1,0 +1,116 @@
+package geom
+
+import "math"
+
+// Segment is the closed line segment between A and B.
+type Segment struct {
+	A Point `json:"a"`
+	B Point `json:"b"`
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point { return Midpoint(s.A, s.B) }
+
+// ClosestPoint returns the point on s closest to p, and the parameter
+// t in [0,1] such that the point equals A.Lerp(B, t).
+func (s Segment) ClosestPoint(p Point) (Point, float64) {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 <= Eps {
+		return s.A, 0
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	return s.A.Lerp(s.B, t), t
+}
+
+// DistToPoint returns the distance from p to the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	q, _ := s.ClosestPoint(p)
+	return p.Dist(q)
+}
+
+// onSegment reports whether point q, known to be collinear with s, lies on s.
+func (s Segment) onSegment(q Point) bool {
+	return q.X <= math.Max(s.A.X, s.B.X)+Eps && q.X >= math.Min(s.A.X, s.B.X)-Eps &&
+		q.Y <= math.Max(s.A.Y, s.B.Y)+Eps && q.Y >= math.Min(s.A.Y, s.B.Y)-Eps
+}
+
+// Intersects reports whether s and t share at least one point, including
+// touching endpoints and collinear overlap.
+func (s Segment) Intersects(t Segment) bool {
+	o1 := Orientation(s.A, s.B, t.A)
+	o2 := Orientation(s.A, s.B, t.B)
+	o3 := Orientation(t.A, t.B, s.A)
+	o4 := Orientation(t.A, t.B, s.B)
+
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	// Collinear special cases.
+	if o1 == 0 && s.onSegment(t.A) {
+		return true
+	}
+	if o2 == 0 && s.onSegment(t.B) {
+		return true
+	}
+	if o3 == 0 && t.onSegment(s.A) {
+		return true
+	}
+	if o4 == 0 && t.onSegment(s.B) {
+		return true
+	}
+	return false
+}
+
+// Intersection returns the single proper intersection point of s and t if the
+// segments cross at exactly one point that is not a collinear overlap. The
+// boolean is false for parallel, collinear or disjoint segments.
+func (s Segment) Intersection(t Segment) (Point, bool) {
+	r := s.B.Sub(s.A)
+	d := t.B.Sub(t.A)
+	denom := r.Cross(d)
+	if math.Abs(denom) <= Eps {
+		return Point{}, false
+	}
+	diff := t.A.Sub(s.A)
+	u := diff.Cross(d) / denom
+	v := diff.Cross(r) / denom
+	if u < -Eps || u > 1+Eps || v < -Eps || v > 1+Eps {
+		return Point{}, false
+	}
+	return s.A.Lerp(s.B, u), true
+}
+
+// DistToSegment returns the minimum distance between the two segments;
+// zero when they intersect.
+func (s Segment) DistToSegment(t Segment) float64 {
+	if s.Intersects(t) {
+		return 0
+	}
+	d := s.DistToPoint(t.A)
+	if v := s.DistToPoint(t.B); v < d {
+		d = v
+	}
+	if v := t.DistToPoint(s.A); v < d {
+		d = v
+	}
+	if v := t.DistToPoint(s.B); v < d {
+		d = v
+	}
+	return d
+}
+
+// Bounds returns the axis-aligned bounding rectangle of the segment.
+func (s Segment) Bounds() Rect {
+	return Rect{
+		Min: Point{math.Min(s.A.X, s.B.X), math.Min(s.A.Y, s.B.Y)},
+		Max: Point{math.Max(s.A.X, s.B.X), math.Max(s.A.Y, s.B.Y)},
+	}
+}

@@ -1,0 +1,110 @@
+package position
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Dataset groups per-device sequences, the unit the Data Selector filters
+// and the Translator consumes ("the framework takes each individual
+// positioning sequence as input").
+type Dataset struct {
+	seqs map[DeviceID]*Sequence
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset { return &Dataset{seqs: make(map[DeviceID]*Sequence)} }
+
+// Add appends a record to its device's sequence, creating the sequence on
+// first sight.
+func (d *Dataset) Add(r Record) {
+	s, ok := d.seqs[r.Device]
+	if !ok {
+		s = NewSequence(r.Device)
+		d.seqs[r.Device] = s
+	}
+	s.Append(r)
+}
+
+// AddSequence inserts or replaces a whole sequence.
+func (d *Dataset) AddSequence(s *Sequence) { d.seqs[s.Device] = s }
+
+// Sequence returns the sequence of the device, or nil.
+func (d *Dataset) Sequence(dev DeviceID) *Sequence { return d.seqs[dev] }
+
+// Devices returns the device IDs sorted lexicographically, so iteration
+// order is deterministic across runs.
+func (d *Dataset) Devices() []DeviceID {
+	out := make([]DeviceID, 0, len(d.seqs))
+	for dev := range d.seqs {
+		out = append(out, dev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sequences returns all sequences in device order.
+func (d *Dataset) Sequences() []*Sequence {
+	devs := d.Devices()
+	out := make([]*Sequence, 0, len(devs))
+	for _, dev := range devs {
+		out = append(out, d.seqs[dev])
+	}
+	return out
+}
+
+// NumDevices returns the number of devices.
+func (d *Dataset) NumDevices() int { return len(d.seqs) }
+
+// NumRecords returns the total number of records.
+func (d *Dataset) NumRecords() int {
+	n := 0
+	for _, s := range d.seqs {
+		n += s.Len()
+	}
+	return n
+}
+
+// TimeRange returns the earliest start and the latest end over all
+// sequences; zero times for an empty dataset.
+func (d *Dataset) TimeRange() (time.Time, time.Time) {
+	var lo, hi time.Time
+	for _, s := range d.seqs {
+		if s.Empty() {
+			continue
+		}
+		if lo.IsZero() || s.Start().Before(lo) {
+			lo = s.Start()
+		}
+		if hi.IsZero() || s.End().After(hi) {
+			hi = s.End()
+		}
+	}
+	return lo, hi
+}
+
+// Stats summarizes a dataset for display and for selector diagnostics.
+type Stats struct {
+	Devices    int
+	Records    int
+	From, To   time.Time
+	MeanLength float64 // records per device
+}
+
+// Summarize computes dataset statistics.
+func (d *Dataset) Summarize() Stats {
+	st := Stats{Devices: d.NumDevices(), Records: d.NumRecords()}
+	st.From, st.To = d.TimeRange()
+	if st.Devices > 0 {
+		st.MeanLength = float64(st.Records) / float64(st.Devices)
+	}
+	return st
+}
+
+// String renders the stats in one line.
+func (st Stats) String() string {
+	return fmt.Sprintf("%d devices, %d records, %.1f rec/dev, %s – %s",
+		st.Devices, st.Records, st.MeanLength,
+		st.From.Format(time.RFC3339), st.To.Format(time.RFC3339))
+}

@@ -1,0 +1,247 @@
+package position
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+)
+
+// The Data Selector "accepts the indoor positioning data from multi-sources
+// (e.g., text files, database tables, and streams APIs)". This file covers
+// the text formats: CSV with header `device,x,y,floor,time` and JSON lines.
+// Timestamps accept RFC3339 or unix milliseconds; floors accept "3F", "B1"
+// or a bare integer.
+
+// ParseFloor parses "3F", "B2" or "-2"/"3" into a FloorID.
+func ParseFloor(s string) (dsm.FloorID, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("position: empty floor")
+	}
+	up := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(up, "F"):
+		n, err := strconv.Atoi(up[:len(up)-1])
+		if err != nil {
+			return 0, fmt.Errorf("position: bad floor %q", s)
+		}
+		return dsm.FloorID(n), nil
+	case strings.HasPrefix(up, "B"):
+		n, err := strconv.Atoi(up[1:])
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("position: bad floor %q", s)
+		}
+		return dsm.FloorID(-n), nil
+	default:
+		n, err := strconv.Atoi(up)
+		if err != nil {
+			return 0, fmt.Errorf("position: bad floor %q", s)
+		}
+		return dsm.FloorID(n), nil
+	}
+}
+
+// ParseTime parses RFC3339 or unix milliseconds.
+func ParseTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	if ms, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.UnixMilli(ms).UTC(), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("position: bad time %q", s)
+	}
+	return t, nil
+}
+
+// ReadCSV parses records from CSV. The first row may be a header (detected
+// by a non-numeric x column). Malformed rows abort with a row-numbered
+// error: positioning logs are machine-written, so corruption indicates the
+// wrong file rather than a few bad rows.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	ds := NewDataset()
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return ds, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("position: csv row %d: %w", row+1, err)
+		}
+		row++
+		if row == 1 && !isNumeric(rec[1]) {
+			continue // header
+		}
+		pr, err := parseCSVRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("position: csv row %d: %w", row, err)
+		}
+		ds.Add(pr)
+	}
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return err == nil
+}
+
+func parseCSVRow(rec []string) (Record, error) {
+	x, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad x %q", rec[1])
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(rec[2]), 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad y %q", rec[2])
+	}
+	f, err := ParseFloor(rec[3])
+	if err != nil {
+		return Record{}, err
+	}
+	at, err := ParseTime(rec[4])
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{
+		Device: DeviceID(strings.TrimSpace(rec[0])),
+		P:      geom.Pt(x, y),
+		Floor:  f,
+		At:     at,
+	}, nil
+}
+
+// WriteCSV writes the dataset with a header, devices in sorted order,
+// records in time order, timestamps as RFC3339 with millisecond precision.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"device", "x", "y", "floor", "time"}); err != nil {
+		return err
+	}
+	for _, s := range ds.Sequences() {
+		for _, r := range s.Records {
+			err := cw.Write([]string{
+				string(r.Device),
+				strconv.FormatFloat(r.P.X, 'f', 3, 64),
+				strconv.FormatFloat(r.P.Y, 'f', 3, 64),
+				r.Floor.String(),
+				r.At.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonRecord is the JSON-lines wire format.
+type jsonRecord struct {
+	Device string  `json:"device"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Floor  string  `json:"floor"`
+	Time   string  `json:"time"`
+}
+
+// ReadJSONL parses one JSON object per line.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	ds := NewDataset()
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal([]byte(raw), &jr); err != nil {
+			return nil, fmt.Errorf("position: jsonl line %d: %w", line, err)
+		}
+		f, err := ParseFloor(jr.Floor)
+		if err != nil {
+			return nil, fmt.Errorf("position: jsonl line %d: %w", line, err)
+		}
+		at, err := ParseTime(jr.Time)
+		if err != nil {
+			return nil, fmt.Errorf("position: jsonl line %d: %w", line, err)
+		}
+		ds.Add(Record{Device: DeviceID(jr.Device), P: geom.Pt(jr.X, jr.Y), Floor: f, At: at})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteJSONL writes one JSON object per line, device then time order.
+func WriteJSONL(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range ds.Sequences() {
+		for _, r := range s.Records {
+			jr := jsonRecord{
+				Device: string(r.Device),
+				X:      r.P.X, Y: r.P.Y,
+				Floor: r.Floor.String(),
+				Time:  r.At.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			}
+			if err := enc.Encode(jr); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a dataset from a .csv or .jsonl file by extension.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		return ReadCSV(f)
+	case strings.HasSuffix(path, ".jsonl"), strings.HasSuffix(path, ".ndjson"):
+		return ReadJSONL(f)
+	default:
+		return nil, fmt.Errorf("position: unknown dataset extension in %q", path)
+	}
+}
+
+// SaveFile writes a dataset to a .csv or .jsonl file by extension.
+func SaveFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		err = WriteCSV(f, ds)
+	case strings.HasSuffix(path, ".jsonl"), strings.HasSuffix(path, ".ndjson"):
+		err = WriteJSONL(f, ds)
+	default:
+		err = fmt.Errorf("position: unknown dataset extension in %q", path)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

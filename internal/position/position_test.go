@@ -1,0 +1,413 @@
+package position
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+)
+
+var t0 = time.Date(2017, 1, 2, 10, 0, 0, 0, time.UTC)
+
+func rec(dev string, x, y float64, floor int, offset time.Duration) Record {
+	return Record{Device: DeviceID(dev), P: geom.Pt(x, y), Floor: dsm.FloorID(floor), At: t0.Add(offset)}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Device: "oi", P: geom.Pt(5.1, 12.7), Floor: 3,
+		At: time.Date(2017, 1, 2, 13, 2, 5, 0, time.UTC)}
+	want := "oi, (5.1, 12.7, 3F), 1:02:05pm"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRecordSpeedTo(t *testing.T) {
+	a := rec("d", 0, 0, 1, 0)
+	b := rec("d", 3, 4, 1, 5*time.Second)
+	if v := a.SpeedTo(b); !almost(v, 1) {
+		t.Errorf("speed = %v, want 1", v)
+	}
+	// Zero time delta, distinct points: infinite speed.
+	c := rec("d", 10, 0, 1, 0)
+	if v := a.SpeedTo(c); !math.IsInf(v, 1) {
+		t.Errorf("speed over zero dt = %v", v)
+	}
+	// Identical record: zero speed.
+	if v := a.SpeedTo(a); v != 0 {
+		t.Errorf("self speed = %v", v)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSequenceAppendKeepsOrder(t *testing.T) {
+	s := NewSequence("d")
+	s.Append(rec("d", 0, 0, 1, 10*time.Second))
+	s.Append(rec("d", 1, 0, 1, 30*time.Second))
+	s.Append(rec("d", 2, 0, 1, 20*time.Second)) // out of order
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.Records[i].At.Before(s.Records[i-1].At) {
+			t.Fatalf("records out of order at %d", i)
+		}
+	}
+	if s.Records[1].P.X != 2 {
+		t.Errorf("inserted record misplaced: %v", s.Records)
+	}
+}
+
+func TestSequenceStats(t *testing.T) {
+	s := NewSequence("d")
+	if !s.Start().IsZero() || !s.End().IsZero() || s.Duration() != 0 {
+		t.Error("empty sequence stats should be zero")
+	}
+	s.Append(rec("d", 0, 0, 1, 0))
+	s.Append(rec("d", 3, 4, 1, 10*time.Second))
+	s.Append(rec("d", 3, 4, 2, 40*time.Second)) // floor change
+	if s.Duration() != 40*time.Second {
+		t.Errorf("duration = %v", s.Duration())
+	}
+	if d := s.TravelDistance(); !almost(d, 5) {
+		t.Errorf("travel distance = %v, want 5 (floor change free)", d)
+	}
+	if mp := s.MeanPeriod(); mp != 20*time.Second {
+		t.Errorf("mean period = %v", mp)
+	}
+	if g := s.MaxGap(); g != 30*time.Second {
+		t.Errorf("max gap = %v", g)
+	}
+	fl := s.Floors()
+	if len(fl) != 2 || fl[0] != 1 || fl[1] != 2 {
+		t.Errorf("floors = %v", fl)
+	}
+	b := s.Bounds()
+	if !b.Min.Eq(geom.Pt(0, 0)) || !b.Max.Eq(geom.Pt(3, 4)) {
+		t.Errorf("bounds = %v", b)
+	}
+}
+
+func TestSequenceTimeWindow(t *testing.T) {
+	s := NewSequence("d")
+	for i := 0; i < 10; i++ {
+		s.Append(rec("d", float64(i), 0, 1, time.Duration(i)*time.Minute))
+	}
+	w := s.TimeWindow(t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if w.Len() != 3 {
+		t.Fatalf("window len = %d", w.Len())
+	}
+	if w.Records[0].P.X != 2 || w.Records[2].P.X != 4 {
+		t.Errorf("window contents wrong: %v", w.Records)
+	}
+}
+
+func TestSequenceSplitByGap(t *testing.T) {
+	s := NewSequence("d")
+	offsets := []time.Duration{0, 5 * time.Second, 10 * time.Second,
+		5 * time.Minute, 5*time.Minute + 8*time.Second,
+		20 * time.Minute}
+	for i, off := range offsets {
+		s.Append(rec("d", float64(i), 0, 1, off))
+	}
+	runs := s.SplitByGap(time.Minute)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	if runs[0].Len() != 3 || runs[1].Len() != 2 || runs[2].Len() != 1 {
+		t.Errorf("run lengths = %d %d %d", runs[0].Len(), runs[1].Len(), runs[2].Len())
+	}
+	if (&Sequence{}).SplitByGap(time.Minute) != nil {
+		t.Error("empty split should be nil")
+	}
+}
+
+func TestSequenceCloneIndependent(t *testing.T) {
+	s := NewSequence("d")
+	s.Append(rec("d", 1, 1, 1, 0))
+	c := s.Clone()
+	c.Records[0].P = geom.Pt(9, 9)
+	if s.Records[0].P.Eq(geom.Pt(9, 9)) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	ds := NewDataset()
+	ds.Add(rec("b", 0, 0, 1, time.Minute))
+	ds.Add(rec("a", 1, 1, 1, 0))
+	ds.Add(rec("a", 2, 2, 1, 2*time.Minute))
+	if ds.NumDevices() != 2 || ds.NumRecords() != 3 {
+		t.Fatalf("counts = %d devices, %d records", ds.NumDevices(), ds.NumRecords())
+	}
+	devs := ds.Devices()
+	if len(devs) != 2 || devs[0] != "a" || devs[1] != "b" {
+		t.Errorf("devices = %v", devs)
+	}
+	lo, hi := ds.TimeRange()
+	if !lo.Equal(t0) || !hi.Equal(t0.Add(2*time.Minute)) {
+		t.Errorf("time range = %v..%v", lo, hi)
+	}
+	st := ds.Summarize()
+	if st.MeanLength != 1.5 {
+		t.Errorf("mean length = %v", st.MeanLength)
+	}
+	if !strings.Contains(st.String(), "2 devices") {
+		t.Errorf("stats string = %q", st.String())
+	}
+	if ds.Sequence("missing") != nil {
+		t.Error("missing device should be nil")
+	}
+}
+
+func TestParseFloor(t *testing.T) {
+	cases := []struct {
+		in   string
+		want dsm.FloorID
+		ok   bool
+	}{
+		{"3F", 3, true}, {"3f", 3, true}, {"B2", -2, true},
+		{"7", 7, true}, {"-1", -1, true}, {" 2F ", 2, true},
+		{"", 0, false}, {"xF", 0, false}, {"B0", 0, false}, {"Bx", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFloor(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseFloor(%q) = %v,%v want %v,%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	if _, err := ParseTime("2017-01-02T10:00:00Z"); err != nil {
+		t.Errorf("RFC3339 rejected: %v", err)
+	}
+	got, err := ParseTime("1483351200000")
+	if err != nil || got.Year() != 2017 {
+		t.Errorf("unix ms = %v, %v", got, err)
+	}
+	if _, err := ParseTime("yesterday"); err == nil {
+		t.Error("garbage time accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := NewDataset()
+	ds.Add(rec("dev-1", 5.125, 12.75, 3, 0))
+	ds.Add(rec("dev-1", 6.5, 11.875, 3, 7*time.Second))
+	ds.Add(rec("dev-2", 1, 2, -1, time.Second))
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumRecords() != 3 || got.NumDevices() != 2 {
+		t.Fatalf("round trip counts: %d/%d", got.NumDevices(), got.NumRecords())
+	}
+	r := got.Sequence("dev-1").Records[0]
+	if !almost(r.P.X, 5.125) || r.Floor != 3 || !r.At.Equal(t0) {
+		t.Errorf("round trip record = %+v", r)
+	}
+	b1 := got.Sequence("dev-2").Records[0]
+	if b1.Floor != -1 {
+		t.Errorf("basement floor = %v", b1.Floor)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("device,x,y,floor,time\nd,notnum,2,1F,2017-01-02T10:00:00Z\n")); err == nil {
+		t.Error("bad x accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("d,1,2,1F\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("d,1,2,1F,not-a-time\n")); err == nil {
+		t.Error("bad time accepted")
+	}
+	// Header-less numeric data parses fine.
+	ds, err := ReadCSV(strings.NewReader("d,1,2,1F,2017-01-02T10:00:00Z\n"))
+	if err != nil || ds.NumRecords() != 1 {
+		t.Errorf("headerless csv: %v, %d", err, ds.NumRecords())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	ds := NewDataset()
+	ds.Add(rec("j1", 3.5, 4.5, 2, 0))
+	ds.Add(rec("j2", 1, 1, 1, time.Minute))
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ds); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if got.NumRecords() != 2 {
+		t.Fatalf("records = %d", got.NumRecords())
+	}
+	if _, err := ReadJSONL(strings.NewReader("{bad json\n")); err == nil {
+		t.Error("bad jsonl accepted")
+	}
+	// Blank lines are skipped.
+	got, err = ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || got.NumRecords() != 0 {
+		t.Errorf("blank jsonl: %v %d", err, got.NumRecords())
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	ds := NewDataset()
+	ds.Add(rec("f1", 1, 2, 1, 0))
+	for _, name := range []string{"/a.csv", "/a.jsonl"} {
+		path := dir + name
+		if err := SaveFile(path, ds); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil || got.NumRecords() != 1 {
+			t.Fatalf("LoadFile(%s): %v, %d", name, err, got.NumRecords())
+		}
+	}
+	if err := SaveFile(dir+"/a.xml", ds); err == nil {
+		t.Error("unknown extension accepted on save")
+	}
+	if _, err := LoadFile(dir + "/a.xml"); err == nil {
+		t.Error("unknown extension accepted on load")
+	}
+}
+
+func TestStreamPublishSubscribe(t *testing.T) {
+	st := NewStream()
+	ch, cancel := st.Subscribe(4)
+	defer cancel()
+	go func() {
+		st.Publish(rec("s1", 1, 1, 1, 0))
+		st.Publish(rec("s1", 2, 2, 1, time.Second))
+		st.Close()
+	}()
+	var got []Record
+	for r := range ch {
+		got = append(got, r)
+	}
+	if len(got) != 2 {
+		t.Fatalf("received %d records", len(got))
+	}
+	// Publish after close is a no-op, not a panic.
+	st.Publish(rec("s1", 3, 3, 1, 2*time.Second))
+	// Subscribe after close yields a closed channel.
+	ch2, cancel2 := st.Subscribe(1)
+	defer cancel2()
+	if _, ok := <-ch2; ok {
+		t.Error("subscribe after close should be drained")
+	}
+}
+
+func TestStreamCancelDetaches(t *testing.T) {
+	st := NewStream()
+	ch, cancel := st.Subscribe(1)
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Error("canceled channel should be closed")
+	}
+	st.Publish(rec("x", 1, 1, 1, 0)) // must not block on the dead subscriber
+	st.Close()
+}
+
+func TestCollect(t *testing.T) {
+	st := NewStream()
+	go func() {
+		// Wait for Collect's subscription so no records are lost.
+		for st.NumSubscribers() == 0 {
+			runtime.Gosched()
+		}
+		for i := 0; i < 10; i++ {
+			st.Publish(rec("c", float64(i), 0, 1, time.Duration(i)*time.Second))
+		}
+		st.Close()
+	}()
+	ds := Collect(context.Background(), st, 0)
+	if ds.NumRecords() != 10 {
+		t.Errorf("collected %d", ds.NumRecords())
+	}
+
+	// Bounded collection: the publisher floods the stream; Collect stops
+	// at its cap and its cancel unblocks the publisher.
+	st2 := NewStream()
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for st2.NumSubscribers() == 0 {
+			runtime.Gosched()
+		}
+		for i := 0; i < 500; i++ {
+			st2.Publish(rec("c", float64(i), 0, 1, time.Duration(i)*time.Second))
+		}
+		st2.Close()
+	}()
+	got := Collect(context.Background(), st2, 3)
+	if got.NumRecords() != 3 {
+		t.Errorf("bounded collect = %d", got.NumRecords())
+	}
+	<-pubDone
+
+	// Context cancellation stops collection.
+	st3 := NewStream()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	cancelCtx()
+	if ds := Collect(ctx, st3, 0); ds.NumRecords() != 0 {
+		t.Error("canceled collect should be empty")
+	}
+	st3.Close()
+}
+
+func TestSequencePropertyAppendSorted(t *testing.T) {
+	// Whatever the insertion order, records end up time-sorted.
+	f := func(offsets []int16) bool {
+		s := NewSequence("p")
+		for i, off := range offsets {
+			s.Append(rec("p", float64(i), 0, 1, time.Duration(off)*time.Second))
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.Records[i].At.Before(s.Records[i-1].At) {
+				return false
+			}
+		}
+		return s.Len() == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitByGapPropertyPreservesRecords(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewSequence("p")
+		for i, off := range offsets {
+			s.Append(rec("p", float64(i), 0, 1, time.Duration(off)*time.Second))
+		}
+		runs := s.SplitByGap(30 * time.Second)
+		total := 0
+		for _, r := range runs {
+			total += r.Len()
+		}
+		return total == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package position
+
+import (
+	"context"
+	"sync"
+)
+
+// Stream is the third input source kind the Data Selector accepts: a live
+// feed of positioning records. Producers Publish records; consumers
+// Subscribe and receive them on a channel until the stream closes or they
+// cancel. Collect drains a stream into a Dataset, which is how the
+// Configurator materializes a bounded window of a feed for translation.
+//
+// Concurrency design: the publisher never sends on a channel that anyone
+// else closes. Each subscriber owns a forwarder goroutine; Publish hands
+// records to the forwarder's inbox guarded by the subscriber's and the
+// stream's done channels, and only the forwarder closes the consumer-facing
+// channel. Slow subscribers exert backpressure through their buffer.
+type Stream struct {
+	mu     sync.Mutex
+	subs   map[int]*subscriber
+	nextID int
+	done   chan struct{}
+	closed bool
+}
+
+type subscriber struct {
+	in   chan Record   // publisher → forwarder; never closed
+	out  chan Record   // forwarder → consumer; closed by the forwarder only
+	dead chan struct{} // closed once by cancel
+	once sync.Once
+}
+
+// NewStream returns an open stream with no subscribers.
+func NewStream() *Stream {
+	return &Stream{subs: make(map[int]*subscriber), done: make(chan struct{})}
+}
+
+// Publish delivers r to every current subscriber, blocking on full
+// subscriber buffers (backpressure rather than drops: positioning feeds are
+// low-rate relative to consumers). Publishing on a closed stream is a no-op;
+// canceled subscribers are skipped.
+func (st *Stream) Publish(r Record) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	snapshot := make([]*subscriber, 0, len(st.subs))
+	for _, s := range st.subs {
+		snapshot = append(snapshot, s)
+	}
+	st.mu.Unlock()
+	for _, s := range snapshot {
+		select {
+		case s.in <- r:
+		case <-s.dead:
+		case <-st.done:
+		}
+	}
+}
+
+// Subscribe registers a consumer with the given buffer size. The returned
+// channel closes when the stream closes or the cancel function is called;
+// cancel is idempotent.
+func (st *Stream) Subscribe(buf int) (<-chan Record, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &subscriber{
+		in:   make(chan Record, buf),
+		out:  make(chan Record, buf),
+		dead: make(chan struct{}),
+	}
+	cancel := func() { s.once.Do(func() { close(s.dead) }) }
+
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		close(s.out)
+		return s.out, cancel
+	}
+	id := st.nextID
+	st.nextID++
+	st.subs[id] = s
+	st.mu.Unlock()
+
+	go func() {
+		defer func() {
+			st.mu.Lock()
+			delete(st.subs, id)
+			st.mu.Unlock()
+			close(s.out)
+		}()
+		for {
+			select {
+			case <-s.dead:
+				return
+			case <-st.done:
+				// Drain anything the publisher already queued.
+				for {
+					select {
+					case r := <-s.in:
+						select {
+						case s.out <- r:
+						case <-s.dead:
+							return
+						}
+					default:
+						return
+					}
+				}
+			case r := <-s.in:
+				// Deliver even if the stream closes meanwhile: Close stops
+				// new input, it does not abandon records already accepted.
+				select {
+				case s.out <- r:
+				case <-s.dead:
+					return
+				}
+			}
+		}
+	}()
+	return s.out, cancel
+}
+
+// NumSubscribers returns the number of active subscriptions.
+func (st *Stream) NumSubscribers() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.subs)
+}
+
+// Close terminates the stream; all subscriber channels close after their
+// queued records drain. Close is idempotent.
+func (st *Stream) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	close(st.done)
+}
+
+// Collect consumes the stream into a Dataset until the stream closes, the
+// context is canceled, or max records arrive (max <= 0 means unbounded).
+func Collect(ctx context.Context, st *Stream, max int) *Dataset {
+	ch, cancel := st.Subscribe(256)
+	defer cancel()
+	ds := NewDataset()
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ds
+		case r, ok := <-ch:
+			if !ok {
+				return ds
+			}
+			ds.Add(r)
+			n++
+			if max > 0 && n >= max {
+				return ds
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package selector implements the Data Selector module of the TRIPS
+// Configurator.
+//
+// The Data Selector "offers users a set of configurable and combinable rules
+// to select the (device) positioning sequences of particular interest.
+// Typical rules include device ID pattern, spatial range, temporal range,
+// positioning frequency, and periodic pattern." (paper Sec. 2)
+//
+// A Rule judges a whole positioning sequence. Rules combine with And, Or and
+// Not. Select applies a rule to a dataset and returns the accepted
+// sequences; some rules also trim the sequences they accept (e.g. the
+// temporal range keeps only in-window records, mirroring the walk-through's
+// "only appear during the mall's operating hours").
+package selector
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+	"trips/internal/position"
+)
+
+// Rule accepts or rejects one positioning sequence, optionally returning a
+// trimmed replacement. Returning (nil, false) rejects; (s, true) accepts s.
+type Rule interface {
+	// Apply judges the sequence. Implementations must not mutate s; rules
+	// that trim return a derived sequence.
+	Apply(s *position.Sequence) (*position.Sequence, bool)
+	// Describe returns a human-readable summary for configuration review.
+	Describe() string
+}
+
+// Select runs the rule over every sequence of the dataset and returns a new
+// dataset of the accepted (possibly trimmed) sequences, leaving ds intact.
+func Select(ds *position.Dataset, r Rule) *position.Dataset {
+	out := position.NewDataset()
+	for _, s := range ds.Sequences() {
+		if t, ok := r.Apply(s); ok && !t.Empty() {
+			out.AddSequence(t)
+		}
+	}
+	return out
+}
+
+// DevicePattern accepts devices whose ID matches a shell-style glob
+// ("3a.*" in the demo's anonymized MAC display).
+type DevicePattern struct{ Glob string }
+
+// Apply implements Rule.
+func (r DevicePattern) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	ok, err := path.Match(r.Glob, string(s.Device))
+	if err != nil || !ok {
+		return nil, false
+	}
+	return s, true
+}
+
+// Describe implements Rule.
+func (r DevicePattern) Describe() string { return fmt.Sprintf("device matches %q", r.Glob) }
+
+// TimeRange keeps the records within [From, To) and accepts the sequence if
+// any remain. Zero From/To leave that side unbounded.
+type TimeRange struct {
+	From, To time.Time
+}
+
+// Apply implements Rule.
+func (r TimeRange) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	from, to := r.From, r.To
+	if from.IsZero() {
+		from = s.Start()
+	}
+	if to.IsZero() {
+		to = s.End().Add(time.Nanosecond)
+	}
+	w := s.TimeWindow(from, to)
+	if w.Empty() {
+		return nil, false
+	}
+	return w, true
+}
+
+// Describe implements Rule.
+func (r TimeRange) Describe() string {
+	return fmt.Sprintf("time in [%s, %s)", fmtTime(r.From), fmtTime(r.To))
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return t.Format(time.RFC3339)
+}
+
+// DailyWindow keeps records whose local time-of-day falls within
+// [StartHour, EndHour) on every day — the "operating hours 10:00 AM - 10:00
+// PM" filter of the walk-through. Hours are 0–24 in the dataset's location.
+type DailyWindow struct {
+	StartHour, EndHour int
+}
+
+// Apply implements Rule.
+func (r DailyWindow) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	out := position.NewSequence(s.Device)
+	for _, rec := range s.Records {
+		h := rec.At.Hour()
+		if h >= r.StartHour && h < r.EndHour {
+			out.Append(rec)
+		}
+	}
+	if out.Empty() {
+		return nil, false
+	}
+	return out, true
+}
+
+// Describe implements Rule.
+func (r DailyWindow) Describe() string {
+	return fmt.Sprintf("daily hours [%02d:00, %02d:00)", r.StartHour, r.EndHour)
+}
+
+// SpatialRange accepts sequences having at least MinRecords records inside
+// the rectangle on the given floor. Floor 0 with AnyFloor set matches any
+// floor. It does not trim: the walk-through selects sequences that "appear
+// on the ground floor", then translates them whole.
+type SpatialRange struct {
+	Rect       geom.Rect
+	Floor      dsm.FloorID
+	AnyFloor   bool
+	MinRecords int
+}
+
+// Apply implements Rule.
+func (r SpatialRange) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	min := r.MinRecords
+	if min <= 0 {
+		min = 1
+	}
+	n := 0
+	for _, rec := range s.Records {
+		if (r.AnyFloor || rec.Floor == r.Floor) && r.Rect.Contains(rec.P) {
+			n++
+			if n >= min {
+				return s, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Describe implements Rule.
+func (r SpatialRange) Describe() string {
+	return fmt.Sprintf("≥%d records in %v floor %v", max(1, r.MinRecords), r.Rect, r.Floor)
+}
+
+// MinDuration accepts sequences spanning at least D — "positioning sequences
+// that last for more than one hour".
+type MinDuration struct{ D time.Duration }
+
+// Apply implements Rule.
+func (r MinDuration) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	if s.Duration() < r.D {
+		return nil, false
+	}
+	return s, true
+}
+
+// Describe implements Rule.
+func (r MinDuration) Describe() string { return fmt.Sprintf("duration ≥ %s", r.D) }
+
+// Frequency accepts sequences whose mean sampling period is at most
+// MaxPeriod (i.e. sampled frequently enough to translate reliably).
+type Frequency struct{ MaxPeriod time.Duration }
+
+// Apply implements Rule.
+func (r Frequency) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	if s.Len() < 2 || s.MeanPeriod() > r.MaxPeriod {
+		return nil, false
+	}
+	return s, true
+}
+
+// Describe implements Rule.
+func (r Frequency) Describe() string { return fmt.Sprintf("mean period ≤ %s", r.MaxPeriod) }
+
+// MinRecords accepts sequences with at least N records.
+type MinRecords struct{ N int }
+
+// Apply implements Rule.
+func (r MinRecords) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	if s.Len() < r.N {
+		return nil, false
+	}
+	return s, true
+}
+
+// Describe implements Rule.
+func (r MinRecords) Describe() string { return fmt.Sprintf("≥ %d records", r.N) }
+
+// Periodic accepts devices that appear on at least MinDays distinct days —
+// the "periodic pattern" rule (e.g. staff devices returning daily).
+type Periodic struct{ MinDays int }
+
+// Apply implements Rule.
+func (r Periodic) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	days := make(map[string]bool)
+	for _, rec := range s.Records {
+		days[rec.At.Format("2006-01-02")] = true
+	}
+	if len(days) < r.MinDays {
+		return nil, false
+	}
+	return s, true
+}
+
+// Describe implements Rule.
+func (r Periodic) Describe() string { return fmt.Sprintf("appears on ≥ %d days", r.MinDays) }
+
+// Combinators ---------------------------------------------------------------
+
+// And accepts when every child accepts, threading trimmed sequences through
+// the chain in order.
+type And []Rule
+
+// Apply implements Rule.
+func (rs And) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	cur := s
+	for _, r := range rs {
+		next, ok := r.Apply(cur)
+		if !ok {
+			return nil, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// Describe implements Rule.
+func (rs And) Describe() string { return combine(rs, " AND ") }
+
+// Or accepts when any child accepts, returning the first child's result.
+type Or []Rule
+
+// Apply implements Rule.
+func (rs Or) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	for _, r := range rs {
+		if out, ok := r.Apply(s); ok {
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Describe implements Rule.
+func (rs Or) Describe() string { return combine(rs, " OR ") }
+
+// Not inverts its child's acceptance; trimming is discarded.
+type Not struct{ Rule Rule }
+
+// Apply implements Rule.
+func (r Not) Apply(s *position.Sequence) (*position.Sequence, bool) {
+	if _, ok := r.Rule.Apply(s); ok {
+		return nil, false
+	}
+	return s, true
+}
+
+// Describe implements Rule.
+func (r Not) Describe() string { return "NOT (" + r.Rule.Describe() + ")" }
+
+// All accepts everything; the identity for And.
+type All struct{}
+
+// Apply implements Rule.
+func (All) Apply(s *position.Sequence) (*position.Sequence, bool) { return s, true }
+
+// Describe implements Rule.
+func (All) Describe() string { return "all" }
+
+func combine(rs []Rule, sep string) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.Describe()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package selector
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+	"trips/internal/position"
+)
+
+var t0 = time.Date(2017, 1, 2, 9, 0, 0, 0, time.UTC)
+
+func seq(dev string, n int, period time.Duration, start time.Time) *position.Sequence {
+	s := position.NewSequence(position.DeviceID(dev))
+	for i := 0; i < n; i++ {
+		s.Append(position.Record{
+			Device: s.Device,
+			P:      geom.Pt(float64(i), 0),
+			Floor:  dsm.FloorID(1),
+			At:     start.Add(time.Duration(i) * period),
+		})
+	}
+	return s
+}
+
+func dataset(seqs ...*position.Sequence) *position.Dataset {
+	ds := position.NewDataset()
+	for _, s := range seqs {
+		ds.AddSequence(s)
+	}
+	return ds
+}
+
+func TestDevicePattern(t *testing.T) {
+	ds := dataset(seq("3a.bb.14", 3, time.Second, t0), seq("zz.01", 3, time.Second, t0))
+	got := Select(ds, DevicePattern{Glob: "3a.*"})
+	if got.NumDevices() != 1 || got.Sequence("3a.bb.14") == nil {
+		t.Errorf("selected %v", got.Devices())
+	}
+	// Invalid glob rejects everything rather than erroring.
+	if got := Select(ds, DevicePattern{Glob: "[bad"}); got.NumDevices() != 0 {
+		t.Error("invalid glob should select nothing")
+	}
+}
+
+func TestTimeRangeTrims(t *testing.T) {
+	ds := dataset(seq("d", 10, time.Minute, t0))
+	r := TimeRange{From: t0.Add(3 * time.Minute), To: t0.Add(6 * time.Minute)}
+	got := Select(ds, r)
+	s := got.Sequence("d")
+	if s == nil || s.Len() != 3 {
+		t.Fatalf("trimmed = %v", s)
+	}
+	// Entirely outside: rejected.
+	r2 := TimeRange{From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour)}
+	if got := Select(ds, r2); got.NumDevices() != 0 {
+		t.Error("out-of-window sequence kept")
+	}
+	// Unbounded sides keep everything.
+	if got := Select(ds, TimeRange{}); got.Sequence("d").Len() != 10 {
+		t.Error("unbounded range trimmed records")
+	}
+	// The original dataset is untouched.
+	if ds.Sequence("d").Len() != 10 {
+		t.Error("Select mutated its input")
+	}
+}
+
+func TestDailyWindow(t *testing.T) {
+	// Records at 9:00 and every 30 min after; window 10-22 keeps those from
+	// 10:00 onward.
+	ds := dataset(seq("d", 6, 30*time.Minute, t0)) // 9:00..11:30
+	got := Select(ds, DailyWindow{StartHour: 10, EndHour: 22})
+	s := got.Sequence("d")
+	if s == nil || s.Len() != 4 {
+		t.Fatalf("daily window kept %v records", s.Len())
+	}
+	for _, rec := range s.Records {
+		if rec.At.Hour() < 10 {
+			t.Errorf("record at %v outside window", rec.At)
+		}
+	}
+}
+
+func TestSpatialRange(t *testing.T) {
+	ds := dataset(seq("d", 10, time.Second, t0)) // x = 0..9 on floor 1
+	in := SpatialRange{Rect: geom.NewRect(geom.Pt(0, -1), geom.Pt(4, 1)), Floor: 1, MinRecords: 3}
+	if got := Select(ds, in); got.NumDevices() != 1 {
+		t.Error("in-range sequence rejected")
+	}
+	wrongFloor := SpatialRange{Rect: geom.NewRect(geom.Pt(0, -1), geom.Pt(4, 1)), Floor: 2}
+	if got := Select(ds, wrongFloor); got.NumDevices() != 0 {
+		t.Error("wrong floor accepted")
+	}
+	anyFloor := SpatialRange{Rect: geom.NewRect(geom.Pt(0, -1), geom.Pt(4, 1)), AnyFloor: true}
+	if got := Select(ds, anyFloor); got.NumDevices() != 1 {
+		t.Error("AnyFloor rejected")
+	}
+	tooMany := SpatialRange{Rect: geom.NewRect(geom.Pt(0, -1), geom.Pt(4, 1)), Floor: 1, MinRecords: 6}
+	if got := Select(ds, tooMany); got.NumDevices() != 0 {
+		t.Error("MinRecords threshold ignored")
+	}
+}
+
+func TestDurationFrequencyMinRecords(t *testing.T) {
+	short := seq("short", 5, time.Second, t0)       // 4s span
+	long := seq("long", 100, time.Minute, t0)       // 99m span
+	sparse := seq("sparse", 10, 10*time.Minute, t0) // period 10m
+	ds := dataset(short, long, sparse)
+
+	if got := Select(ds, MinDuration{D: time.Hour}); got.NumDevices() != 2 {
+		t.Errorf("MinDuration selected %v", got.Devices())
+	}
+	if got := Select(ds, Frequency{MaxPeriod: 2 * time.Minute}); got.NumDevices() != 2 {
+		t.Errorf("Frequency selected %v", got.Devices())
+	}
+	if got := Select(ds, MinRecords{N: 50}); got.NumDevices() != 1 {
+		t.Errorf("MinRecords selected %v", got.Devices())
+	}
+	// Single-record sequences fail Frequency.
+	one := dataset(seq("one", 1, time.Second, t0))
+	if got := Select(one, Frequency{MaxPeriod: time.Hour}); got.NumDevices() != 0 {
+		t.Error("single record passed Frequency")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	s := position.NewSequence("p")
+	for day := 0; day < 3; day++ {
+		for i := 0; i < 2; i++ {
+			s.Append(position.Record{Device: "p", P: geom.Pt(0, 0), Floor: 1,
+				At: t0.Add(time.Duration(day)*24*time.Hour + time.Duration(i)*time.Minute)})
+		}
+	}
+	ds := dataset(s, seq("q", 5, time.Minute, t0))
+	if got := Select(ds, Periodic{MinDays: 3}); got.NumDevices() != 1 || got.Sequence("p") == nil {
+		t.Errorf("Periodic selected %v", got.Devices())
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	ds := dataset(
+		seq("3a.long", 100, time.Minute, t0),
+		seq("3a.short", 3, time.Second, t0),
+		seq("zz.long", 100, time.Minute, t0),
+	)
+	and := And{DevicePattern{Glob: "3a.*"}, MinDuration{D: time.Hour}}
+	if got := Select(ds, and); got.NumDevices() != 1 || got.Sequence("3a.long") == nil {
+		t.Errorf("And selected %v", got.Devices())
+	}
+	or := Or{DevicePattern{Glob: "zz.*"}, MinRecords{N: 50}}
+	if got := Select(ds, or); got.NumDevices() != 2 {
+		t.Errorf("Or selected %v", got.Devices())
+	}
+	not := Not{Rule: DevicePattern{Glob: "3a.*"}}
+	if got := Select(ds, not); got.NumDevices() != 1 || got.Sequence("zz.long") == nil {
+		t.Errorf("Not selected %v", got.Devices())
+	}
+	if got := Select(ds, All{}); got.NumDevices() != 3 {
+		t.Errorf("All selected %v", got.Devices())
+	}
+	// And threads trimming: time-trim then duration check on trimmed data.
+	and2 := And{
+		TimeRange{From: t0, To: t0.Add(10 * time.Minute)},
+		MinRecords{N: 5},
+	}
+	got := Select(ds, and2)
+	if got.Sequence("3a.long") == nil || got.Sequence("3a.long").Len() != 10 {
+		t.Errorf("And trimming wrong: %v", got.Devices())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	r := And{
+		DevicePattern{Glob: "3a.*"},
+		Or{MinDuration{D: time.Hour}, MinRecords{N: 10}},
+		Not{Rule: Periodic{MinDays: 2}},
+	}
+	d := r.Describe()
+	for _, want := range []string{"3a.*", "AND", "OR", "NOT", "days"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe = %q missing %q", d, want)
+		}
+	}
+	if (All{}).Describe() != "all" {
+		t.Error("All describe")
+	}
+}

@@ -1,0 +1,115 @@
+package semantics
+
+import (
+	"time"
+)
+
+// Assessment tooling: the paper argues the translation result "needs to be
+// assessed properly" and offers visual comparison; here we add the
+// quantitative counterpart used by the E1/E4 experiments — an alignment of a
+// generated semantics sequence against a ground-truth sequence, scored by
+// time-weighted agreement and by triplet-level precision/recall.
+
+// MatchReport scores a generated sequence against the ground truth.
+type MatchReport struct {
+	// TimeAgreement is the fraction of the evaluated timespan during which
+	// the generated sequence names the same region as the truth.
+	TimeAgreement float64 `json:"timeAgreement"`
+	// EventAgreement is the fraction of the timespan with the same region
+	// AND the same event.
+	EventAgreement float64 `json:"eventAgreement"`
+	// Precision/Recall/F1 at triplet granularity: a generated triplet
+	// matches a truth triplet when regions agree, events agree, and their
+	// periods overlap by at least half of the shorter period.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// Matched counts matching pairs; Generated/Truth are the totals.
+	Matched   int `json:"matched"`
+	Generated int `json:"generated"`
+	Truth     int `json:"truth"`
+}
+
+// Compare aligns got against want. step controls the sampling resolution of
+// the time-weighted scores; 1s–5s is appropriate for indoor data.
+func Compare(got, want *Sequence, step time.Duration) MatchReport {
+	rep := MatchReport{Generated: got.Len(), Truth: want.Len()}
+	if step <= 0 {
+		step = time.Second
+	}
+
+	// Time-weighted agreement over the union span of the truth.
+	start, end := want.Start(), want.End()
+	if !start.IsZero() && end.After(start) {
+		var total, regionOK, eventOK int
+		for ts := start; ts.Before(end); ts = ts.Add(step) {
+			w := want.At(ts)
+			if w == nil {
+				continue
+			}
+			total++
+			g := got.At(ts)
+			if g == nil {
+				continue
+			}
+			if g.Region == w.Region {
+				regionOK++
+				if g.Event == w.Event {
+					eventOK++
+				}
+			}
+		}
+		if total > 0 {
+			rep.TimeAgreement = float64(regionOK) / float64(total)
+			rep.EventAgreement = float64(eventOK) / float64(total)
+		}
+	}
+
+	// Triplet-level matching, greedy in time order; each truth triplet can
+	// be claimed once.
+	used := make([]bool, want.Len())
+	for _, g := range got.Triplets {
+		for i, w := range want.Triplets {
+			if used[i] || g.Region != w.Region || g.Event != w.Event {
+				continue
+			}
+			if overlapAtLeastHalf(g, w) {
+				used[i] = true
+				rep.Matched++
+				break
+			}
+		}
+	}
+	if rep.Generated > 0 {
+		rep.Precision = float64(rep.Matched) / float64(rep.Generated)
+	}
+	if rep.Truth > 0 {
+		rep.Recall = float64(rep.Matched) / float64(rep.Truth)
+	}
+	if rep.Precision+rep.Recall > 0 {
+		rep.F1 = 2 * rep.Precision * rep.Recall / (rep.Precision + rep.Recall)
+	}
+	return rep
+}
+
+// overlapAtLeastHalf reports whether the periods of a and b overlap by at
+// least half the shorter period.
+func overlapAtLeastHalf(a, b Triplet) bool {
+	lo := a.From
+	if b.From.After(lo) {
+		lo = b.From
+	}
+	hi := a.To
+	if b.To.Before(hi) {
+		hi = b.To
+	}
+	ov := hi.Sub(lo)
+	if ov <= 0 {
+		return false
+	}
+	short := a.Duration()
+	if d := b.Duration(); d < short {
+		short = d
+	}
+	return ov*2 >= short
+}

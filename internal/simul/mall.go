@@ -1,0 +1,175 @@
+// Package simul synthesizes the experimental substrate the paper's demo
+// uses but does not publish: a multi-floor shopping-mall venue and a Wi-Fi
+// indoor positioning feed over it.
+//
+// The paper evaluates on "a dataset obtained from a Wi-Fi based positioning
+// system in a 7-floor shopping mall in Hangzhou" — proprietary data. This
+// package generates the closest synthetic equivalent: a configurable mall
+// DSM, ground-truth shopper trajectories that walk the mall's topology, and
+// an error model that degrades the truth into raw positioning records with
+// the error characteristics of Wi-Fi positioning (Gaussian planar noise,
+// floor misreads, outliers, sampling jitter, dropouts). Ground truth is
+// retained so experiments can score the translation quantitatively.
+package simul
+
+import (
+	"fmt"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+)
+
+// shopNames label the generated shop regions; the first few echo the
+// paper's running example. Names cycle with a floor suffix when a mall has
+// more shops than names.
+var shopNames = []string{
+	"Adidas", "Nike", "Cashier", "Uniqlo", "Starbucks", "Lego",
+	"Sephora", "Muji", "Zara", "Apple", "H&M", "Watsons",
+	"BookCity", "KFC", "Pandora", "Swatch",
+}
+
+// shopCategories cycle over the generated shops.
+var shopCategories = []string{"shop", "shop", "service", "shop", "restaurant", "shop"}
+
+// MallSpec configures the generated venue.
+type MallSpec struct {
+	// Floors is the number of storeys (the paper's mall has 7).
+	Floors int
+	// ShopsPerFloor is the number of shops in the row above the hallway.
+	ShopsPerFloor int
+	// ShopWidth and ShopDepth size each shop in meters.
+	ShopWidth, ShopDepth float64
+	// HallDepth is the hallway depth in meters.
+	HallDepth float64
+}
+
+// DefaultMallSpec mirrors the scale of the paper's venue: 7 floors, 8 shops
+// per floor.
+func DefaultMallSpec() MallSpec {
+	return MallSpec{Floors: 7, ShopsPerFloor: 8, ShopWidth: 10, ShopDepth: 10, HallDepth: 12}
+}
+
+// BuildMall generates a frozen mall DSM: per floor a hallway, a row of
+// shops behind a wall with one door each, staircases at both hallway ends
+// and an elevator in the middle, plus semantic regions for every shop and
+// hall.
+func BuildMall(spec MallSpec) (*dsm.Model, error) {
+	if spec.Floors <= 0 || spec.ShopsPerFloor <= 0 {
+		return nil, fmt.Errorf("simul: bad mall spec %+v", spec)
+	}
+	if spec.ShopWidth <= 0 {
+		spec.ShopWidth = 10
+	}
+	if spec.ShopDepth <= 0 {
+		spec.ShopDepth = 10
+	}
+	if spec.HallDepth <= 0 {
+		spec.HallDepth = 12
+	}
+
+	m := dsm.New("synthetic-mall")
+	width := float64(spec.ShopsPerFloor) * spec.ShopWidth
+	wallY0 := spec.HallDepth
+	wallY1 := spec.HallDepth + 0.4
+
+	rect := func(x0, y0, x1, y1 float64) geom.Polygon {
+		return geom.NewRect(geom.Pt(x0, y0), geom.Pt(x1, y1)).ToPolygon()
+	}
+
+	nameIdx := 0
+	for f := 1; f <= spec.Floors; f++ {
+		fid := dsm.FloorID(f)
+		hallID := dsm.EntityID(fmt.Sprintf("H%d", f))
+		m.AddEntity(&dsm.Entity{
+			ID: hallID, Kind: dsm.KindHallway, Floor: fid,
+			Name:  fmt.Sprintf("Hall %s", fid),
+			Shape: rect(0, 0, width, spec.HallDepth),
+		})
+		m.AddEntity(&dsm.Entity{
+			ID: dsm.EntityID(fmt.Sprintf("W%d", f)), Kind: dsm.KindWall, Floor: fid,
+			Name:  fmt.Sprintf("shop wall %s", fid),
+			Shape: rect(0, wallY0, width, wallY1),
+		})
+		for i := 0; i < spec.ShopsPerFloor; i++ {
+			x0 := float64(i) * spec.ShopWidth
+			x1 := x0 + spec.ShopWidth
+			shopID := dsm.EntityID(fmt.Sprintf("S%d-%d", f, i))
+			name := shopNames[nameIdx%len(shopNames)]
+			if nameIdx >= len(shopNames) {
+				name = fmt.Sprintf("%s %s", name, fid)
+			}
+			cat := shopCategories[i%len(shopCategories)]
+			nameIdx++
+			m.AddEntity(&dsm.Entity{
+				ID: shopID, Kind: dsm.KindRoom, Floor: fid, Name: name,
+				Shape: rect(x0, wallY1, x1, wallY1+spec.ShopDepth),
+			})
+			doorX := x0 + spec.ShopWidth/2 - 1
+			m.AddEntity(&dsm.Entity{
+				ID:   dsm.EntityID(fmt.Sprintf("D%d-%d", f, i)),
+				Kind: dsm.KindDoor, Floor: fid,
+				Name:  fmt.Sprintf("door %s", shopID),
+				Shape: rect(doorX, wallY0, doorX+2, wallY1),
+			})
+			m.AddRegion(&dsm.SemanticRegion{
+				ID:  dsm.RegionID(fmt.Sprintf("rg-%s-%d", shopID, f)),
+				Tag: name, Category: cat, Floor: fid,
+				Shape:    rect(x0, wallY1, x1, wallY1+spec.ShopDepth),
+				Entities: []dsm.EntityID{shopID},
+			})
+		}
+		// Vertical connectors: stairs at both ends, elevator mid-hall.
+		m.AddEntity(&dsm.Entity{
+			ID: dsm.EntityID(fmt.Sprintf("ST-A-%d", f)), Kind: dsm.KindStaircase,
+			Floor: fid, Name: "Stairs A", VerticalGroup: "stairs-a",
+			Shape: rect(0, 0, 4, 4),
+		})
+		m.AddEntity(&dsm.Entity{
+			ID: dsm.EntityID(fmt.Sprintf("ST-B-%d", f)), Kind: dsm.KindStaircase,
+			Floor: fid, Name: "Stairs B", VerticalGroup: "stairs-b",
+			Shape: rect(width-4, 0, width, 4),
+		})
+		m.AddEntity(&dsm.Entity{
+			ID: dsm.EntityID(fmt.Sprintf("EL-%d", f)), Kind: dsm.KindElevator,
+			Floor: fid, Name: "Elevator", VerticalGroup: "elevator-1",
+			Shape: rect(width/2-2, 0, width/2+2, 3),
+		})
+		// Hall region; the ground floor hall echoes the paper's
+		// "Center Hall". The vertical shafts open into the hall, so the
+		// hall region covers them — that is what links hall regions of
+		// consecutive floors in the region-adjacency graph.
+		hallTag := fmt.Sprintf("Hall %s", fid)
+		if f == 1 {
+			hallTag = "Center Hall"
+		}
+		m.AddRegion(&dsm.SemanticRegion{
+			ID:  dsm.RegionID(fmt.Sprintf("rg-hall-%d", f)),
+			Tag: hallTag, Category: "hall", Floor: fid,
+			Shape: rect(0, 0, width, spec.HallDepth),
+			Entities: []dsm.EntityID{
+				hallID,
+				dsm.EntityID(fmt.Sprintf("ST-A-%d", f)),
+				dsm.EntityID(fmt.Sprintf("ST-B-%d", f)),
+				dsm.EntityID(fmt.Sprintf("EL-%d", f)),
+			},
+		})
+	}
+	if err := m.Freeze(); err != nil {
+		return nil, fmt.Errorf("simul: freeze mall: %w", err)
+	}
+	return m, nil
+}
+
+// ShopRegions returns the shop/service/restaurant regions of the model (the
+// itinerary candidates), in deterministic order.
+func ShopRegions(m *dsm.Model) []*dsm.SemanticRegion {
+	var out []*dsm.SemanticRegion
+	for _, f := range m.Floors() {
+		for _, r := range m.RegionsOnFloor(f) {
+			if r.Category != "hall" {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package storage is the TRIPS backend store: configured artifacts — DSM
+// files, event patterns and training data, selector configurations, and
+// translation results — are "stored in the backend for the reuse in other
+// translation tasks in the same indoor space" (paper Sec. 4).
+//
+// The store is a directory of JSON documents partitioned into collections.
+// Writes are atomic (temp file + rename) and guarded by a process-wide
+// mutex; the store is safe for concurrent use within one process, matching
+// the single-backend deployment of the demo.
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a JSON document store rooted at a directory.
+type Store struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// Open creates (if necessary) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store directory.
+func (s *Store) Root() string { return s.root }
+
+// validName guards collection and key names: path separators and dot-dot
+// would escape the store root.
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, `/\`) || strings.Contains(name, "..") {
+		return fmt.Errorf("storage: invalid name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) path(collection, key string) (string, error) {
+	if err := validName(collection); err != nil {
+		return "", err
+	}
+	if err := validName(key); err != nil {
+		return "", err
+	}
+	return filepath.Join(s.root, collection, key+".json"), nil
+}
+
+// Put marshals v into collection/key, overwriting atomically.
+func (s *Store) Put(collection, key string, v interface{}) error {
+	p, err := s.path(collection, key)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: marshal %s/%s: %w", collection, key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, p)
+}
+
+// Get unmarshals collection/key into v. Missing documents return an error
+// satisfying os.IsNotExist / errors.Is(err, os.ErrNotExist).
+func (s *Store) Get(collection, key string, v interface{}) error {
+	p, err := s.path(collection, key)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	data, err := os.ReadFile(p)
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("storage: unmarshal %s/%s: %w", collection, key, err)
+	}
+	return nil
+}
+
+// Exists reports whether collection/key is present.
+func (s *Store) Exists(collection, key string) bool {
+	p, err := s.path(collection, key)
+	if err != nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// Delete removes collection/key; deleting a missing document is an error.
+func (s *Store) Delete(collection, key string) error {
+	p, err := s.path(collection, key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Remove(p)
+}
+
+// List returns the keys of a collection, sorted. A missing collection lists
+// empty.
+func (s *Store) List(collection string) ([]string, error) {
+	if err := validName(collection); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(filepath.Join(s.root, collection))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Collections returns the existing collection names, sorted.
+func (s *Store) Collections() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,241 @@
+package viewer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+)
+
+// SVG rendering of the map view and the timeline. The renderer draws the
+// current floor's entities (styled by kind), the semantic regions with their
+// tags, the visible entries of each source (records as dots joined by a
+// faint path, semantics as labeled markers), and the legend panel.
+
+// sourceColors styles the four sequences.
+var sourceColors = map[SourceKind]string{
+	SourceRaw:       "#d62728", // red
+	SourceCleaned:   "#1f77b4", // blue
+	SourceTruth:     "#2ca02c", // green
+	SourceSemantics: "#9467bd", // purple
+}
+
+// kindFill styles entity polygons.
+var kindFill = map[dsm.EntityKind]string{
+	dsm.KindRoom:      "#f5f0e6",
+	dsm.KindHallway:   "#ffffff",
+	dsm.KindWall:      "#444444",
+	dsm.KindDoor:      "#c8a85a",
+	dsm.KindStaircase: "#d0e4f5",
+	dsm.KindElevator:  "#d0f5e4",
+	dsm.KindObstacle:  "#999999",
+}
+
+// RenderOptions size the SVG output.
+type RenderOptions struct {
+	// Scale is pixels per meter (default 12).
+	Scale float64
+	// Margin is the border in pixels (default 20).
+	Margin float64
+	// From/To restrict the drawn entries; zero values draw everything.
+	From, To time.Time
+}
+
+// RenderSVG draws the view's current floor as a standalone SVG document.
+func RenderSVG(v *View, opts RenderOptions) string {
+	if opts.Scale <= 0 {
+		opts.Scale = 12
+	}
+	if opts.Margin <= 0 {
+		opts.Margin = 20
+	}
+	bounds := v.Model.FloorBounds(v.floor)
+	if bounds.IsEmpty() {
+		bounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	}
+	sc := opts.Scale
+	w := bounds.Width()*sc + 2*opts.Margin
+	h := bounds.Height()*sc + 2*opts.Margin
+	// Transform building coordinates to SVG pixels (y flipped so north is
+	// up).
+	tx := func(p geom.Point) (float64, float64) {
+		return opts.Margin + (p.X-bounds.Min.X)*sc,
+			opts.Margin + (bounds.Max.Y-p.Y)*sc
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="#fafafa"/>`+"\n", w, h)
+
+	// Entities: draw walls and obstacles above walkable partitions.
+	ents := append([]*dsm.Entity(nil), v.Model.Entities...)
+	sort.SliceStable(ents, func(i, j int) bool { return entityZ(ents[i].Kind) < entityZ(ents[j].Kind) })
+	for _, e := range ents {
+		if e.Floor != v.floor {
+			continue
+		}
+		fill := kindFill[e.Kind]
+		if fill == "" {
+			fill = "#eeeeee"
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="%s" stroke="#777" stroke-width="0.5"><title>%s</title></polygon>`+"\n",
+			polyPoints(e.Shape, tx), fill, escape(entityTitle(e)))
+	}
+
+	// Semantic regions: outline + tag label at the centroid.
+	for _, r := range v.Model.RegionsOnFloor(v.floor) {
+		cx, cy := tx(r.Center())
+		fmt.Fprintf(&b, `<polygon points="%s" fill="none" stroke="#b08030" stroke-width="1" stroke-dasharray="4,3"/>`+"\n",
+			polyPoints(r.Shape, tx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="#7a5a20">%s</text>`+"\n",
+			cx, cy, escape(r.Tag))
+	}
+
+	// Entries per source.
+	from, to := opts.From, opts.To
+	if from.IsZero() {
+		from = time.Time{}
+	}
+	if to.IsZero() {
+		to = time.Unix(1<<62-1, 0)
+	}
+	for _, kind := range v.Sources() {
+		if !v.visible[kind] {
+			continue
+		}
+		color := sourceColors[kind]
+		var path []string
+		for _, e := range v.sources[kind] {
+			if e.Floor != v.floor || !e.Covers(from, to) {
+				continue
+			}
+			x, y := tx(e.P)
+			if kind == SourceSemantics {
+				marker := "&#9632;" // filled square
+				if e.Inferred {
+					marker = "&#9633;" // hollow square for inferred
+				}
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" fill="%s" text-anchor="middle">%s<title>%s</title></text>`+"\n",
+					x, y, color, marker, escape(e.Label))
+			} else {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s" fill-opacity="0.7"/>`+"\n", x, y, color)
+				path = append(path, fmt.Sprintf("%.1f,%.1f", x, y))
+			}
+		}
+		if len(path) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="0.8" stroke-opacity="0.4"/>`+"\n",
+				strings.Join(path, " "), color)
+		}
+	}
+
+	// Legend panel.
+	y := opts.Margin
+	for _, kind := range v.Sources() {
+		mark := "☑"
+		if !v.visible[kind] {
+			mark = "☐"
+		}
+		fmt.Fprintf(&b, `<text x="6" y="%.1f" font-size="10" fill="%s">%s %s</text>`+"\n",
+			y, sourceColors[kind], mark, kind)
+		y += 12
+	}
+	fmt.Fprintf(&b, `<text x="6" y="%.1f" font-size="10" fill="#333">floor %s</text>`+"\n", y, v.floor)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// RenderTimelineSVG draws the horizontal timeline: one lane per source,
+// semantics entries as labeled bars (the primary navigator), records as
+// ticks.
+func RenderTimelineSVG(v *View, width float64) string {
+	if width <= 0 {
+		width = 800
+	}
+	var lo, hi time.Time
+	for _, kind := range v.Sources() {
+		for _, e := range v.sources[kind] {
+			if lo.IsZero() || e.From.Before(lo) {
+				lo = e.From
+			}
+			if hi.IsZero() || e.To.After(hi) {
+				hi = e.To
+			}
+		}
+	}
+	if lo.IsZero() || !hi.After(lo) {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"></svg>`
+	}
+	span := hi.Sub(lo).Seconds()
+	tx := func(t time.Time) float64 { return 60 + (t.Sub(lo).Seconds()/span)*(width-80) }
+
+	laneH := 24.0
+	kinds := v.Sources()
+	h := laneH*float64(len(kinds)) + 30
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n", width, h)
+	for i, kind := range kinds {
+		y := 10 + laneH*float64(i)
+		fmt.Fprintf(&b, `<text x="4" y="%.1f" font-size="9" fill="%s">%s</text>`+"\n", y+10, sourceColors[kind], kind)
+		for _, e := range v.sources[kind] {
+			x0 := tx(e.From)
+			if kind == SourceSemantics {
+				x1 := tx(e.To)
+				if x1-x0 < 2 {
+					x1 = x0 + 2
+				}
+				dash := ""
+				if e.Inferred {
+					dash = ` stroke-dasharray="3,2"`
+				}
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="12" fill="%s" fill-opacity="0.5" stroke="%s"%s><title>%s</title></rect>`+"\n",
+					x0, y, x1-x0, sourceColors[kind], sourceColors[kind], dash, escape(e.Label))
+			} else {
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-opacity="0.6"/>`+"\n",
+					x0, y, x0, y+12, sourceColors[kind])
+			}
+		}
+	}
+	fmt.Fprintf(&b, `<text x="60" y="%.1f" font-size="9" fill="#333">%s</text>`+"\n", h-6, lo.Format("15:04:05"))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="end" fill="#333">%s</text>`+"\n", width-10, h-6, hi.Format("15:04:05"))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func entityZ(k dsm.EntityKind) int {
+	switch k {
+	case dsm.KindHallway, dsm.KindRoom:
+		return 0
+	case dsm.KindStaircase, dsm.KindElevator:
+		return 1
+	case dsm.KindWall:
+		return 2
+	case dsm.KindDoor:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func entityTitle(e *dsm.Entity) string {
+	if e.Name != "" {
+		return fmt.Sprintf("%s (%s)", e.Name, e.Kind)
+	}
+	return fmt.Sprintf("%s (%s)", e.ID, e.Kind)
+}
+
+func polyPoints(pg geom.Polygon, tx func(geom.Point) (float64, float64)) string {
+	parts := make([]string, 0, len(pg.Vertices))
+	for _, p := range pg.Vertices {
+		x, y := tx(p)
+		parts = append(parts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	return strings.Join(parts, " ")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
