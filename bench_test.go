@@ -7,6 +7,10 @@ package trips
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,6 +19,7 @@ import (
 	"trips/internal/complement"
 	"trips/internal/experiments"
 	"trips/internal/floorplan"
+	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
 	"trips/internal/simul"
@@ -288,6 +293,101 @@ func BenchmarkE6_Workflow(b *testing.B) {
 		e.Trans.Translate(e.Raw)
 	}
 	b.ReportMetric(float64(records), "records/op")
+}
+
+// onlineBenchEnv caches a larger population for the online engine bench:
+// more devices than the shared env so sharding has work to spread.
+var onlineBenchEnv *experiments.Env
+
+// onlineBenchFeeds partitions the population into device-disjoint,
+// time-ordered feeds — the producers of the bench, mirroring a venue with
+// several positioning gateways. Per-device ordering is preserved because a
+// device belongs to exactly one feed.
+var onlineBenchFeeds [][]position.Record
+
+func onlineEnv(b *testing.B) (*experiments.Env, [][]position.Record) {
+	b.Helper()
+	if onlineBenchEnv == nil {
+		spec := experiments.DefaultEnvSpec()
+		spec.Devices = 16
+		spec.Window = time.Hour
+		e, err := experiments.NewEnv(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onlineBenchEnv = e
+		const producers = 4
+		onlineBenchFeeds = make([][]position.Record, producers)
+		for i, seq := range e.Raw.Sequences() {
+			p := i % producers
+			onlineBenchFeeds[p] = append(onlineBenchFeeds[p], seq.Records...)
+		}
+		for _, feed := range onlineBenchFeeds {
+			sort.SliceStable(feed, func(i, j int) bool {
+				return feed[i].At.Before(feed[j].At)
+			})
+		}
+	}
+	return onlineBenchEnv, onlineBenchFeeds
+}
+
+// BenchmarkOnlineTranslate measures the online engine's sustained ingest
+// throughput at 1, 4, and 16 shards over a 16-device hour of traffic fed
+// by 4 concurrent producers, plus the batch Translate of the same dataset
+// as the baseline. One op = one full pass: engine start, every record
+// ingested, engine closed (all sessions sealed). Shard scaling needs
+// GOMAXPROCS > 1; the aggressive FlushEvery keeps the incremental
+// recompute — not channel routing — the dominant cost, as in a live
+// deployment with long-running sessions.
+func BenchmarkOnlineTranslate(b *testing.B) {
+	e, feeds := onlineEnv(b)
+	records := e.Raw.NumRecords()
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var emitted atomic.Int64
+				eng, err := e.Trans.NewOnline(online.Config{
+					Shards:        shards,
+					FlushEvery:    16,
+					FlushInterval: -1,
+					IdleTimeout:   -1,
+					Emitter: online.EmitterFunc(func(online.Emission) {
+						emitted.Add(1)
+					}),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for _, feed := range feeds {
+					wg.Add(1)
+					go func(feed []position.Record) {
+						defer wg.Done()
+						for _, r := range feed {
+							if err := eng.Ingest(r); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(feed)
+				}
+				wg.Wait()
+				eng.Close()
+				if emitted.Load() == 0 {
+					b.Fatal("no semantics emitted")
+				}
+			}
+			b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+	b.Run("batch-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Trans.Translate(e.Raw)
+		}
+		b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+	})
 }
 
 // BenchmarkWalkingDistance isolates the DSM's door-graph Dijkstra, the

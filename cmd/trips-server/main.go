@@ -2,7 +2,9 @@
 // deployment of the paper ("The audience can interact with TRIPS in a web
 // browser"). It translates a dataset at startup and serves, per device, the
 // interactive map view and timeline (Figs. 4–6): floor switching, source
-// visibility toggles, and timeline-driven selection.
+// visibility toggles, and timeline-driven selection. It also runs the
+// online translation engine: POST /ingest feeds live positioning records,
+// and GET /live/{device} serves the incrementally-built semantics.
 //
 // Usage:
 //
@@ -12,21 +14,28 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
 	"net/http"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"trips/internal/config"
 	"trips/internal/core"
 	"trips/internal/dsm"
 	"trips/internal/events"
+	"trips/internal/online"
 	"trips/internal/position"
+	"trips/internal/semantics"
 	"trips/internal/simul"
 	"trips/internal/viewer"
 )
@@ -36,6 +45,13 @@ type server struct {
 	results map[position.DeviceID]core.Result
 	truths  map[position.DeviceID]simul.Truth
 	devices []position.DeviceID
+
+	engine *online.Engine
+
+	// live accumulates the triplets the online engine has sealed, per
+	// device, for /live/{device}.
+	liveMu sync.Mutex
+	live   map[position.DeviceID]*semantics.Sequence
 }
 
 func main() {
@@ -54,11 +70,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d devices on http://%s/", len(s.devices), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Print(err)
+	}
+	s.engine.Close() // seal and emit every open session
+}
+
+// mux wires all routes: the batch Viewer pages plus the online endpoints.
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/device/", s.handleDevice)
-	log.Printf("serving %d devices on http://%s/", len(s.devices), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/live/", s.handleLive)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
 }
 
 func load(demo bool, dsmPath, dataPath, eventsPath string) (*server, error) {
@@ -110,13 +158,121 @@ func load(demo bool, dsmPath, dataPath, eventsPath string) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &server{model: model, results: make(map[position.DeviceID]core.Result), truths: truths}
+	s := &server{
+		model:   model,
+		results: make(map[position.DeviceID]core.Result),
+		truths:  truths,
+		live:    make(map[position.DeviceID]*semantics.Sequence),
+	}
 	for _, r := range tr.Translate(ds) {
 		s.results[r.Device] = r
 		s.devices = append(s.devices, r.Device)
 	}
 	sort.Slice(s.devices, func(i, j int) bool { return s.devices[i] < s.devices[j] })
+
+	// The online engine serves the live-ingest endpoints with the same
+	// trained pipeline.
+	s.engine, err = tr.NewOnline(online.Config{Emitter: online.EmitterFunc(s.record)})
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// record is the engine's callback sink: it files every sealed triplet
+// under its device for /live.
+func (s *server) record(e online.Emission) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	seq, ok := s.live[e.Device]
+	if !ok {
+		seq = semantics.NewSequence(string(e.Device))
+		s.live[e.Device] = seq
+	}
+	seq.Append(e.Triplet)
+}
+
+// handleIngest accepts positioning records (CSV rows or JSON lines, the
+// same formats the Data Selector reads from files) and feeds them to the
+// online engine.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var (
+		ds  *position.Dataset
+		err error
+	)
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		ds, err = position.ReadJSONL(r.Body)
+	} else {
+		ds, err = position.ReadCSV(r.Body)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := 0
+	for _, seq := range ds.Sequences() {
+		for _, rec := range seq.Records {
+			if err := s.engine.Ingest(rec); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			n++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"records": n})
+}
+
+// liveView is the /live/{device} response: what has sealed plus the open
+// window.
+type liveView struct {
+	Device      position.DeviceID   `json:"device"`
+	Sealed      []semantics.Triplet `json:"sealed"`
+	Provisional []semantics.Triplet `json:"provisional,omitempty"`
+	Watermark   time.Time           `json:"watermark,omitzero"`
+	TailRecords int                 `json:"tailRecords"`
+}
+
+// handleLive serves the incrementally-built semantics of one device.
+func (s *server) handleLive(w http.ResponseWriter, r *http.Request) {
+	dev := position.DeviceID(strings.TrimPrefix(r.URL.Path, "/live/"))
+	view := liveView{Device: dev}
+	// Snapshot first, sealed store second: a triplet sealing between the
+	// two reads then shows up in both (and is filtered below) instead of
+	// in neither.
+	snap, ok := s.engine.Snapshot(dev)
+	if ok {
+		view.Provisional = snap.Provisional
+		view.Watermark = snap.Watermark
+		view.TailRecords = snap.TailRecords
+	}
+	s.liveMu.Lock()
+	if seq, ok := s.live[dev]; ok {
+		view.Sealed = append(view.Sealed, seq.Triplets...)
+	}
+	s.liveMu.Unlock()
+	if n := len(view.Sealed); n > 0 {
+		lastSealed := view.Sealed[n-1].From
+		for len(view.Provisional) > 0 && !view.Provisional[0].From.After(lastSealed) {
+			view.Provisional = view.Provisional[1:]
+		}
+	}
+	if !ok && view.Sealed == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(view)
+}
+
+// handleStats serves the online engine's counters.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.engine.Stats())
 }
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>

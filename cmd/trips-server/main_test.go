@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"trips/internal/position"
 )
 
 func demoServer(t *testing.T) *server {
@@ -13,6 +17,7 @@ func demoServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatalf("load demo: %v", err)
 	}
+	t.Cleanup(s.engine.Close)
 	return s
 }
 
@@ -60,6 +65,83 @@ func TestDevicePage(t *testing.T) {
 	s.handleDevice(rec2, httptest.NewRequest(http.MethodGet, "/device/ghost", nil))
 	if rec2.Code != http.StatusNotFound {
 		t.Errorf("unknown device status = %d", rec2.Code)
+	}
+}
+
+func TestIngestAndLive(t *testing.T) {
+	s := demoServer(t)
+	mux := s.mux()
+
+	// Replay one demo device's raw records as a fresh live device.
+	src := s.results[s.devices[0]].Raw
+	ds := position.NewDataset()
+	for _, r := range src.Records {
+		r.Device = "live-1"
+		ds.Add(r)
+	}
+	var body bytes.Buffer
+	if err := position.WriteCSV(&body, ds); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", &body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]int
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["records"] != src.Len() {
+		t.Errorf("ingested %d records, want %d", resp["records"], src.Len())
+	}
+
+	// The live view must show the device immediately (provisional
+	// annotation recomputes on demand, no flush needed).
+	rec2 := httptest.NewRecorder()
+	mux.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/live/live-1", nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("live status = %d", rec2.Code)
+	}
+	var view liveView
+	if err := json.NewDecoder(rec2.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.TailRecords == 0 && len(view.Sealed) == 0 {
+		t.Errorf("live view empty: %+v", view)
+	}
+	if len(view.Sealed)+len(view.Provisional) == 0 {
+		t.Error("no triplets, sealed or provisional")
+	}
+
+	// Unknown device 404s; wrong method 405s; bad payload 400s.
+	rec3 := httptest.NewRecorder()
+	mux.ServeHTTP(rec3, httptest.NewRequest(http.MethodGet, "/live/ghost", nil))
+	if rec3.Code != http.StatusNotFound {
+		t.Errorf("unknown live device status = %d", rec3.Code)
+	}
+	rec4 := httptest.NewRecorder()
+	mux.ServeHTTP(rec4, httptest.NewRequest(http.MethodGet, "/ingest", nil))
+	if rec4.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest status = %d", rec4.Code)
+	}
+	rec5 := httptest.NewRecorder()
+	mux.ServeHTTP(rec5, httptest.NewRequest(http.MethodPost, "/ingest",
+		strings.NewReader("not,a,record\n")))
+	if rec5.Code != http.StatusBadRequest {
+		t.Errorf("bad payload status = %d", rec5.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := demoServer(t)
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "recordsIn") {
+		t.Errorf("stats body missing counters: %s", rec.Body.String())
 	}
 }
 

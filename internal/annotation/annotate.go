@@ -215,10 +215,14 @@ func (a *Annotator) refineByRegion(s *position.Sequence, sns []Snippet) []Snippe
 			for _, l := range raw[lo:hi] {
 				votes[l]++
 			}
+			// Deterministic majority: the record's own label wins ties it
+			// participates in, otherwise the smallest ID does — map
+			// iteration order must not decide snippet boundaries.
 			best := raw[i]
+			bestCnt := votes[best]
 			for l, c := range votes {
-				if c > votes[best] {
-					best = l
+				if c > bestCnt || (c == bestCnt && best != raw[i] && l < best) {
+					best, bestCnt = l, c
 				}
 			}
 			labels[i] = best

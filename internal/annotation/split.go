@@ -39,6 +39,11 @@ type SplitConfig struct {
 	// MinSnippet merges runs shorter than this many records into their
 	// predecessor, suppressing classification jitter.
 	MinSnippet int
+	// DisableHeadMerge keeps a tiny head snippet separate instead of
+	// merging it forward. The online engine sets it when splitting a
+	// trimmed session tail: the tail's first snippet is not the true
+	// sequence head, so the head-merge rule must not apply.
+	DisableHeadMerge bool
 }
 
 // DefaultSplitConfig matches Wi-Fi indoor sampling (3–10 s period,
@@ -101,7 +106,7 @@ func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
 		}
 	}
 	snippets = append(snippets, makeSnippet(s, dense, start, n-1))
-	return mergeTiny(s, snippets, cfg.MinSnippet)
+	return mergeTiny(s, snippets, cfg)
 }
 
 // denseMask marks each record that has at least MinPts spatio-temporal
@@ -165,11 +170,18 @@ func makeSnippet(s *position.Sequence, dense []bool, first, last int) Snippet {
 	}
 }
 
+// TinyJoinGap is the maximum hand-off gap for folding a tiny snippet into a
+// neighbor. Exported so the online engine can size its seal horizon: once a
+// snippet's end is further than this behind the watermark, no future record
+// can merge backward into it.
+const TinyJoinGap = 5 * time.Minute
+
 // mergeTiny folds runs shorter than minLen records or 10 seconds into their
 // predecessor (or successor for a tiny head), re-deriving the density
 // majority. Floor-change and gap cuts are preserved: a tiny run is only
 // merged into a neighbor on the same floor with a small join gap.
-func mergeTiny(s *position.Sequence, sn []Snippet, minLen int) []Snippet {
+func mergeTiny(s *position.Sequence, sn []Snippet, cfg SplitConfig) []Snippet {
+	minLen := cfg.MinSnippet
 	if minLen <= 1 || len(sn) <= 1 {
 		return sn
 	}
@@ -185,7 +197,7 @@ func mergeTiny(s *position.Sequence, sn []Snippet, minLen int) []Snippet {
 		out = append(out, cur)
 	}
 	// A tiny head merges forward.
-	if len(out) > 1 && tiny(out[0]) && joinable(out[0], out[1]) {
+	if !cfg.DisableHeadMerge && len(out) > 1 && tiny(out[0]) && joinable(out[0], out[1]) {
 		out[1] = joinSnippets(s, out[0], out[1])
 		out = out[1:]
 	}
@@ -195,7 +207,7 @@ func mergeTiny(s *position.Sequence, sn []Snippet, minLen int) []Snippet {
 func joinable(a, b Snippet) bool {
 	la := a.Records[len(a.Records)-1]
 	fb := b.Records[0]
-	return la.Floor == fb.Floor && fb.At.Sub(la.At) <= 5*time.Minute
+	return la.Floor == fb.Floor && fb.At.Sub(la.At) <= TinyJoinGap
 }
 
 func joinSnippets(s *position.Sequence, a, b Snippet) Snippet {

@@ -70,6 +70,36 @@ func BuildKnowledge(m *dsm.Model, seqs []*semantics.Sequence, joinGap time.Durat
 	return k
 }
 
+// NewKnowledge returns an empty knowledge store for incremental aggregation.
+// The online engine grows it one transition at a time as triplets are
+// emitted, instead of the batch BuildKnowledge pass.
+func NewKnowledge(m *dsm.Model) *Knowledge {
+	return &Knowledge{
+		model:  m,
+		counts: make(map[dsm.RegionID]map[dsm.RegionID]float64),
+		totals: make(map[dsm.RegionID]float64),
+	}
+}
+
+// Add records one observed direct transition a→b. Callers own any
+// synchronization; Knowledge itself is not safe for concurrent mutation.
+func (k *Knowledge) Add(a, b dsm.RegionID) { k.add(a, b) }
+
+// Observe records the transition between two consecutive observed triplets
+// when both carry a region and the hand-off gap is at most joinGap — the
+// same admission rule BuildKnowledge applies.
+func (k *Knowledge) Observe(prev, next semantics.Triplet, joinGap time.Duration) {
+	if joinGap <= 0 {
+		joinGap = 2 * time.Minute
+	}
+	if prev.Inferred || next.Inferred || prev.RegionID == "" || next.RegionID == "" {
+		return
+	}
+	if next.From.Sub(prev.To) <= joinGap && prev.RegionID != next.RegionID {
+		k.add(prev.RegionID, next.RegionID)
+	}
+}
+
 func (k *Knowledge) add(a, b dsm.RegionID) {
 	row, ok := k.counts[a]
 	if !ok {

@@ -1,0 +1,65 @@
+package online
+
+import (
+	"time"
+
+	"trips/internal/position"
+	"trips/internal/semantics"
+)
+
+// Emission is one finalized triplet leaving the engine. Per device, Seq
+// increases by one per emission and triplets arrive in timeline order; no
+// ordering holds across devices.
+type Emission struct {
+	Device position.DeviceID `json:"device"`
+	// Seq is the per-device emission index, counting inferred triplets.
+	Seq     int               `json:"seq"`
+	Triplet semantics.Triplet `json:"triplet"`
+	// Watermark is the device's latest record time when the triplet
+	// sealed; Watermark − Triplet.To is the sealing latency in event
+	// time.
+	Watermark time.Time `json:"watermark"`
+}
+
+// Emitter is the engine's output sink. Emit is called from shard
+// goroutines, one call at a time per device but concurrently across
+// devices; implementations must be safe for concurrent use.
+type Emitter interface {
+	Emit(Emission)
+}
+
+// EmitterFunc adapts a function to the Emitter interface (the callback
+// sink).
+type EmitterFunc func(Emission)
+
+// Emit implements Emitter.
+func (f EmitterFunc) Emit(e Emission) { f(e) }
+
+// ChanEmitter is the channel sink: emissions are delivered on a buffered
+// channel, exerting backpressure on the shards when the consumer lags. The
+// engine closes the channel when it shuts down.
+type ChanEmitter struct {
+	ch chan Emission
+}
+
+// NewChanEmitter returns a channel sink with the given buffer (minimum 1).
+func NewChanEmitter(buf int) *ChanEmitter {
+	if buf < 1 {
+		buf = 1
+	}
+	return &ChanEmitter{ch: make(chan Emission, buf)}
+}
+
+// Emit implements Emitter.
+func (c *ChanEmitter) Emit(e Emission) { c.ch <- e }
+
+// Results returns the receive side of the sink. The channel closes when
+// the owning engine closes.
+func (c *ChanEmitter) Results() <-chan Emission { return c.ch }
+
+// Close closes the result channel. Engine.Close calls it for the emitter
+// it was configured with; don't call it while the engine is running.
+func (c *ChanEmitter) Close() error {
+	close(c.ch)
+	return nil
+}

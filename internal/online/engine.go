@@ -1,0 +1,330 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"trips/internal/annotation"
+	"trips/internal/position"
+	"trips/internal/semantics"
+)
+
+// ErrClosed is returned by Ingest after Close.
+var ErrClosed = errors.New("online: engine closed")
+
+// Engine is the online translation engine: it shards devices across a
+// fixed worker pool and runs a Session per device. Create with NewEngine
+// (or core.Translator.NewOnline), feed it with Ingest or Consume, and
+// Close it to seal every open session.
+type Engine struct {
+	pl        Pipeline
+	cfg       Config
+	horizon   time.Duration
+	freezeGap time.Duration
+	emitter   Emitter
+	know      *knowledgeStore
+	anTail    annotation.Annotator // head-merge-suppressed copy for trimmed tails
+
+	shards []*shard
+	wg     sync.WaitGroup
+	mu     sync.RWMutex
+	closed bool
+
+	stats engineStats
+
+	// now is stubbed in tests to drive the idle timeout.
+	now func() time.Time
+}
+
+// shard owns a subset of devices; its single goroutine serializes every
+// session mutation, so per-device ordering is free.
+type shard struct {
+	id       int
+	ch       chan shardMsg
+	sessions map[position.DeviceID]*session
+}
+
+// shardMsg is the shard inbox protocol: exactly one field is set.
+type shardMsg struct {
+	rec   *position.Record
+	query *queryMsg
+	flush chan struct{} // flush barrier: run a seal pass, then close
+}
+
+type queryMsg struct {
+	dev   position.DeviceID
+	reply chan Snapshot
+}
+
+// NewEngine validates the pipeline and starts the shard pool.
+func NewEngine(pl Pipeline, cfg Config) (*Engine, error) {
+	if err := pl.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Emitter == nil {
+		return nil, errors.New("online: Config.Emitter is required")
+	}
+	horizon, freezeGap := deriveWindows(pl.Annotator.Cfg)
+	if cfg.Horizon > 0 {
+		horizon = cfg.Horizon
+		if freezeGap > horizon {
+			freezeGap = horizon
+		}
+	}
+	cfg.applyDefaults(horizon)
+
+	e := &Engine{
+		pl:        pl,
+		cfg:       cfg,
+		horizon:   horizon,
+		freezeGap: freezeGap,
+		emitter:   cfg.Emitter,
+		know:      newKnowledgeStore(pl.Model, pl.KnowledgeJoinGap, cfg.MinKnowledge),
+		anTail:    *pl.Annotator,
+		now:       time.Now,
+	}
+	e.anTail.Cfg.Split.DisableHeadMerge = true
+
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			id:       i,
+			ch:       make(chan shardMsg, cfg.QueueLen),
+			sessions: make(map[position.DeviceID]*session),
+		}
+		e.wg.Add(1)
+		go e.runShard(e.shards[i])
+	}
+	return e, nil
+}
+
+// Horizon returns the effective seal horizon.
+func (e *Engine) Horizon() time.Duration { return e.horizon }
+
+// annotatorFor returns the annotator variant for a session: the configured
+// one for a pristine tail, the head-merge-suppressed copy once the tail is
+// a trimmed suffix.
+func (e *Engine) annotatorFor(ss *session) *annotation.Annotator {
+	if ss.base == 0 {
+		return e.pl.Annotator
+	}
+	return &e.anTail
+}
+
+func (e *Engine) shardOf(dev position.DeviceID) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, string(dev))
+	return e.shards[int(h.Sum32())%len(e.shards)]
+}
+
+func (e *Engine) send(em Emission) {
+	e.emitter.Emit(em)
+	e.stats.Triplets.Add(1)
+}
+
+// Ingest routes one record to its device's shard, blocking when the shard
+// inbox is full (backpressure rather than drops).
+func (e *Engine) Ingest(r position.Record) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.shardOf(r.Device).ch <- shardMsg{rec: &r}
+	return nil
+}
+
+// Consume subscribes to a live feed and ingests it until the stream
+// closes, the context is canceled, or the engine closes. It returns the
+// number of records ingested.
+func (e *Engine) Consume(ctx context.Context, st *position.Stream, buf int) int {
+	if buf <= 0 {
+		buf = 256
+	}
+	ch, cancel := st.Subscribe(buf)
+	defer cancel()
+	return e.ConsumeChan(ctx, ch)
+}
+
+// ConsumeChan ingests records from an already-open channel until it
+// closes, the context is canceled, or the engine closes. Callers that must
+// not miss records subscribe first and hand the channel over.
+func (e *Engine) ConsumeChan(ctx context.Context, ch <-chan position.Record) int {
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return n
+		case r, ok := <-ch:
+			if !ok {
+				return n
+			}
+			if e.Ingest(r) != nil {
+				return n
+			}
+			n++
+		}
+	}
+}
+
+// Flush makes every shard drain its inbox and run a seal pass, then
+// returns. It does not force-seal anything: only watermark-sealed triplets
+// emit. Mostly useful for tests and benchmarks that disabled the timer.
+func (e *Engine) Flush() {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return
+	}
+	barriers := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		barriers[i] = make(chan struct{})
+		sh.ch <- shardMsg{flush: barriers[i]}
+	}
+	e.mu.RUnlock()
+	for _, b := range barriers {
+		<-b
+	}
+}
+
+// Close stops intake, seals and emits every open session, and shuts the
+// shard pool down. If the configured Emitter implements io.Closer (the
+// channel sink does), it is closed last. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	e.wg.Wait()
+	if c, ok := e.emitter.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// Snapshot is the live view of one device: what has been emitted and what
+// the open window currently looks like.
+type Snapshot struct {
+	Device position.DeviceID `json:"device"`
+	// Emitted is the number of emissions so far (Seq of the next one).
+	Emitted       int       `json:"emitted"`
+	SealedThrough time.Time `json:"sealedThrough,omitzero"`
+	Watermark     time.Time `json:"watermark,omitzero"`
+	TailRecords   int       `json:"tailRecords"`
+	// Provisional is the annotation of the open window: triplets that
+	// exist now but may still change before sealing.
+	Provisional []semantics.Triplet `json:"provisional,omitempty"`
+}
+
+// Snapshot queries a device's session on its owning shard. ok is false for
+// a device the engine has never seen or after Close.
+func (e *Engine) Snapshot(dev position.DeviceID) (Snapshot, bool) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return Snapshot{}, false
+	}
+	q := &queryMsg{dev: dev, reply: make(chan Snapshot, 1)}
+	e.shardOf(dev).ch <- shardMsg{query: q}
+	e.mu.RUnlock()
+	snap := <-q.reply
+	return snap, snap.Device != ""
+}
+
+// runShard is a shard's worker loop: it serializes ingest, flush, and
+// query handling for its devices, and its ticker drives watermark and
+// idle-timeout flushing so quiescent devices still seal their final
+// triplet.
+func (e *Engine) runShard(sh *shard) {
+	defer e.wg.Done()
+	var tick <-chan time.Time
+	if e.cfg.FlushInterval > 0 {
+		t := time.NewTicker(e.cfg.FlushInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case m, ok := <-sh.ch:
+			if !ok {
+				for _, ss := range sh.sessions {
+					ss.flush(e, true)
+				}
+				return
+			}
+			switch {
+			case m.rec != nil:
+				sh.ingest(e, *m.rec)
+			case m.query != nil:
+				m.query.reply <- sh.snapshot(e, m.query.dev)
+			case m.flush != nil:
+				for _, ss := range sh.sessions {
+					if ss.pending > 0 {
+						ss.flush(e, false)
+					}
+				}
+				close(m.flush)
+			}
+		case <-tick:
+			now := e.now()
+			for dev, ss := range sh.sessions {
+				if ss.pending > 0 {
+					ss.flush(e, false)
+				}
+				if e.cfg.IdleTimeout > 0 &&
+					now.Sub(ss.lastArrival) > e.cfg.IdleTimeout {
+					if ss.tail.Len() > 0 {
+						ss.flush(e, true)
+						e.stats.IdleFinalized.Add(1)
+					}
+					// Evict the quiescent session so churning device IDs
+					// (MAC randomization) don't grow the map forever. A
+					// returning device starts a fresh epoch.
+					delete(sh.sessions, dev)
+				}
+			}
+		}
+	}
+}
+
+func (sh *shard) ingest(e *Engine, r position.Record) {
+	ss := sh.sessions[r.Device]
+	if ss == nil {
+		ss = newSession(r.Device)
+		ss.lastArrival = e.now()
+		sh.sessions[r.Device] = ss
+		e.stats.Sessions.Add(1)
+	}
+	if !ss.ingest(e, r) {
+		e.stats.Late.Add(1)
+		return
+	}
+	e.stats.Records.Add(1)
+	if ss.pending >= e.cfg.FlushEvery {
+		ss.flush(e, false)
+	}
+}
+
+func (sh *shard) snapshot(e *Engine, dev position.DeviceID) Snapshot {
+	ss := sh.sessions[dev]
+	if ss == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Device:        dev,
+		Emitted:       ss.seq,
+		SealedThrough: ss.sealedThrough,
+		Watermark:     ss.tail.End(),
+		TailRecords:   ss.tail.Len(),
+		Provisional:   ss.provisional(e),
+	}
+}

@@ -1,0 +1,241 @@
+package online
+
+import (
+	"time"
+
+	"trips/internal/cleaning"
+	"trips/internal/position"
+	"trips/internal/semantics"
+)
+
+// session is the per-device state machine: the raw record tail still under
+// translation, the emission frontier into that tail, and the last emitted
+// triplet for gap complementing.
+type session struct {
+	dev  position.DeviceID
+	tail *position.Sequence
+
+	// base counts the records trimmed or finalized away before tail[0];
+	// emitted triplet indexes are offset by it so they keep matching the
+	// batch Translator's.
+	base int
+
+	// emittedInTail is how many leading triplets of the tail's current
+	// annotation have already been emitted.
+	emittedInTail int
+
+	// seq is the per-device emission counter.
+	seq int
+
+	// last is the most recently emitted triplet (for gap complementing);
+	// valid when hasLast.
+	last    semantics.Triplet
+	hasLast bool
+
+	// lastKnow is the most recently emitted region-carrying triplet —
+	// the knowledge-aggregation predecessor. Tracked separately from
+	// last because BuildKnowledge skips region-less triplets without
+	// resetting its predecessor, and the online aggregation must count
+	// the same transitions.
+	lastKnow    semantics.Triplet
+	hasLastKnow bool
+
+	// sealedThrough is the To of the last sealed triplet: the point of no
+	// return. Records at or before sealedThrough+horizon are late.
+	sealedThrough time.Time
+
+	// frozenThrough is the To of the latest unsealed triplet whose frozen
+	// membership a seal decision relied on; records at or before
+	// frozenThrough+freezeGap are late (they could re-open that
+	// membership).
+	frozenThrough time.Time
+
+	// pending counts records ingested since the last flush.
+	pending int
+
+	// lastArrival is the wall-clock time of the last ingested record,
+	// for the idle timeout.
+	lastArrival time.Time
+}
+
+func newSession(dev position.DeviceID) *session {
+	return &session{dev: dev, tail: position.NewSequence(dev)}
+}
+
+// ingest buffers one record, dropping it as late when it cannot be
+// admitted without touching sealed output.
+func (ss *session) ingest(e *Engine, r position.Record) bool {
+	if !ss.sealedThrough.IsZero() && !r.At.After(ss.sealedThrough.Add(e.horizon)) {
+		return false
+	}
+	if !ss.frozenThrough.IsZero() && !r.At.After(ss.frozenThrough.Add(e.freezeGap)) {
+		return false
+	}
+	ss.tail.Append(r)
+	ss.pending++
+	ss.lastArrival = e.now()
+	return true
+}
+
+// flush recomputes clean+annotate over the tail and emits every newly
+// sealed triplet. With sealAll (close or idle finalize) everything seals
+// and the tail resets; otherwise sealed records may trim across a hard
+// break.
+func (ss *session) flush(e *Engine, sealAll bool) {
+	ss.pending = 0
+	if ss.tail.Len() == 0 {
+		return
+	}
+	e.stats.Flushes.Add(1)
+
+	cleaned, rep := e.pl.Cleaner.Clean(ss.tail)
+	sem := e.annotatorFor(ss).Annotate(cleaned)
+	watermark := ss.tail.End()
+
+	// Trailing invalid run: cleaned values there still depend on a future
+	// anchor, so triplets touching it cannot seal.
+	invalid := invalidIndexes(rep)
+	unstable := ss.tail.Len()
+	for unstable > 0 && invalid[unstable-1] {
+		unstable--
+	}
+
+	sealBefore := watermark.Add(-e.horizon)
+	frozenBefore := watermark.Add(-e.freezeGap)
+	mergeGap := e.pl.Annotator.Cfg.MergeGap
+
+	n := 0
+	for i := ss.emittedInTail; i < len(sem.Triplets); i++ {
+		t := sem.Triplets[i]
+		if !sealAll {
+			if t.To.After(sealBefore) || t.LastIdx >= unstable {
+				break
+			}
+			// A successor within consolidation reach must have frozen
+			// membership (tag, region, density all final) before t's
+			// extent is final.
+			if i+1 < len(sem.Triplets) && mergeGap > 0 {
+				next := sem.Triplets[i+1]
+				if next.From.Sub(t.To) <= mergeGap {
+					if next.To.After(frozenBefore) || next.LastIdx >= unstable {
+						break
+					}
+					if next.To.After(ss.frozenThrough) {
+						ss.frozenThrough = next.To
+					}
+				}
+			}
+		}
+		ss.emit(e, t, watermark)
+		n++
+	}
+	ss.emittedInTail += n
+
+	if sealAll {
+		ss.base += ss.tail.Len()
+		ss.tail = position.NewSequence(ss.dev)
+		ss.emittedInTail = 0
+		return
+	}
+	ss.maybeTrim(e, sem, invalid)
+}
+
+// emit finalizes one triplet: complement the gap from the previously
+// emitted triplet, feed the shared knowledge, and hand both the inferred
+// and the observed triplets to the sink.
+func (ss *session) emit(e *Engine, t semantics.Triplet, watermark time.Time) {
+	t.FirstIdx += ss.base
+	t.LastIdx += ss.base
+	if ss.hasLast && e.pl.Complementor != nil {
+		for _, inf := range e.know.inferGap(e.pl.Complementor, ss.dev, ss.last, t) {
+			e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: inf, Watermark: watermark})
+			ss.seq++
+			e.stats.Inferred.Add(1)
+		}
+	}
+	if t.RegionID != "" {
+		if ss.hasLastKnow {
+			e.know.observe(ss.lastKnow, t)
+		}
+		ss.lastKnow, ss.hasLastKnow = t, true
+	}
+	e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: t, Watermark: watermark})
+	ss.seq++
+	ss.last, ss.hasLast = t, true
+	if t.To.After(ss.sealedThrough) {
+		ss.sealedThrough = t.To
+	}
+}
+
+// maybeTrim drops fully sealed records from the tail. An exact trim
+// requires a hard break — a gap wider than the horizon whose successor was
+// a valid cleaning anchor — after which the suffix recomputes identically.
+// A tail beyond MaxTail is force-trimmed at the seal boundary regardless.
+func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int]bool) {
+	if ss.emittedInTail == 0 {
+		return
+	}
+	// sem indexes are tail-relative (emit adjusts copies, not sem).
+	b := sem.Triplets[ss.emittedInTail-1].LastIdx + 1 // first unsealed record
+	if b <= 0 || b > ss.tail.Len() {
+		return
+	}
+	if b == ss.tail.Len() {
+		// Everything in the tail is sealed; the next admitted record is
+		// beyond the horizon by the lateness rule, so this is a break.
+		ss.base += ss.tail.Len()
+		ss.tail = position.NewSequence(ss.dev)
+		ss.emittedInTail = 0
+		e.stats.Trims.Add(1)
+		return
+	}
+	gap := ss.tail.Records[b].At.Sub(ss.tail.Records[b-1].At)
+	hard := gap > e.horizon && !invalid[b]
+	forced := e.cfg.MaxTail > 0 && ss.tail.Len() > e.cfg.MaxTail
+	if !hard && !forced {
+		return
+	}
+	if hard {
+		e.stats.Trims.Add(1)
+	} else {
+		e.stats.ForcedTrims.Add(1)
+	}
+	rest := make([]position.Record, ss.tail.Len()-b)
+	copy(rest, ss.tail.Records[b:])
+	ss.tail = &position.Sequence{Device: ss.dev, Records: rest}
+	ss.base += b
+	ss.emittedInTail = 0
+}
+
+// provisional recomputes the tail and returns the not-yet-sealed triplets,
+// index-adjusted — the live view of a device between seals.
+func (ss *session) provisional(e *Engine) []semantics.Triplet {
+	if ss.tail.Len() == 0 {
+		return nil
+	}
+	cleaned, _ := e.pl.Cleaner.Clean(ss.tail)
+	sem := e.annotatorFor(ss).Annotate(cleaned)
+	if ss.emittedInTail >= len(sem.Triplets) {
+		return nil
+	}
+	out := make([]semantics.Triplet, 0, len(sem.Triplets)-ss.emittedInTail)
+	for _, t := range sem.Triplets[ss.emittedInTail:] {
+		t.FirstIdx += ss.base
+		t.LastIdx += ss.base
+		out = append(out, t)
+	}
+	return out
+}
+
+// invalidIndexes collects the record indexes the cleaner repaired for a
+// speed-constraint violation (floor fix or interpolation); snap-only
+// repairs don't count, they are position-local.
+func invalidIndexes(rep cleaning.Report) map[int]bool {
+	out := make(map[int]bool, len(rep.Changes))
+	for _, ch := range rep.Changes {
+		if ch.Kind == cleaning.RepairFloor || ch.Kind == cleaning.RepairInterpolate {
+			out[ch.Index] = true
+		}
+	}
+	return out
+}

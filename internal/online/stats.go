@@ -1,0 +1,64 @@
+package online
+
+import "sync/atomic"
+
+// engineStats are the engine's lifetime counters, updated from shard
+// goroutines.
+type engineStats struct {
+	Records       atomic.Int64
+	Late          atomic.Int64
+	Triplets      atomic.Int64
+	Inferred      atomic.Int64
+	Flushes       atomic.Int64
+	Trims         atomic.Int64
+	ForcedTrims   atomic.Int64
+	IdleFinalized atomic.Int64
+	Sessions      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the engine's counters and per-shard
+// lag.
+type Stats struct {
+	// RecordsIn counts admitted records; Late counts records dropped for
+	// arriving behind the seal frontier.
+	RecordsIn int64 `json:"recordsIn"`
+	Late      int64 `json:"late"`
+	// TripletsOut counts every emission; Inferred the complemented subset.
+	TripletsOut int64 `json:"tripletsOut"`
+	Inferred    int64 `json:"inferred"`
+	// Flushes, Trims, ForcedTrims, IdleFinalized count session
+	// maintenance events.
+	Flushes       int64 `json:"flushes"`
+	Trims         int64 `json:"trims"`
+	ForcedTrims   int64 `json:"forcedTrims"`
+	IdleFinalized int64 `json:"idleFinalized"`
+	// Sessions is the number of devices ever seen.
+	Sessions int64 `json:"sessions"`
+	// KnowledgeObservations is the size of the shared mobility knowledge.
+	KnowledgeObservations int `json:"knowledgeObservations"`
+	// ShardDepth is the current inbox backlog per shard — the lag proxy:
+	// a persistently deep shard is falling behind its feed.
+	ShardDepth []int `json:"shardDepth"`
+}
+
+// Stats snapshots the engine counters. Safe to call concurrently with
+// ingestion.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		RecordsIn:             e.stats.Records.Load(),
+		Late:                  e.stats.Late.Load(),
+		TripletsOut:           e.stats.Triplets.Load(),
+		Inferred:              e.stats.Inferred.Load(),
+		Flushes:               e.stats.Flushes.Load(),
+		Trims:                 e.stats.Trims.Load(),
+		ForcedTrims:           e.stats.ForcedTrims.Load(),
+		IdleFinalized:         e.stats.IdleFinalized.Load(),
+		Sessions:              e.stats.Sessions.Load(),
+		KnowledgeObservations: e.know.observations(),
+		ShardDepth:            make([]int, len(e.shards)),
+	}
+	for i, sh := range e.shards {
+		st.ShardDepth[i] = len(sh.ch)
+	}
+	return st
+}

@@ -1,0 +1,143 @@
+package position
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamRecord builds a minimal record for stream tests.
+func streamRecord(i int) Record {
+	return Record{Device: "s", At: time.Unix(int64(i), 0)}
+}
+
+// TestStreamPublishRacesClose hammers Publish from several goroutines
+// while Close runs concurrently: no send on closed channel, no deadlock,
+// and every subscriber channel terminates. Run with -race.
+func TestStreamPublishRacesClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		st := NewStream()
+		var subs []<-chan Record
+		for i := 0; i < 3; i++ {
+			ch, _ := st.Subscribe(4)
+			subs = append(subs, ch)
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					st.Publish(streamRecord(p*100 + i))
+				}
+			}(p)
+		}
+		// Drain concurrently so publishers are not permanently blocked on
+		// full buffers, and close midway through the publishing burst.
+		var drained sync.WaitGroup
+		for _, ch := range subs {
+			drained.Add(1)
+			go func(ch <-chan Record) {
+				defer drained.Done()
+				for range ch {
+				}
+			}(ch)
+		}
+		go st.Close()
+		wg.Wait()
+		st.Close() // idempotent
+		drained.Wait()
+	}
+}
+
+// TestStreamCancelDuringBlockedSend cancels a subscriber whose buffers are
+// full while a publisher is blocked handing it a record: the publisher
+// must unblock via the subscriber's dead channel.
+func TestStreamCancelDuringBlockedSend(t *testing.T) {
+	st := NewStream()
+	defer st.Close()
+	_, cancel := st.Subscribe(1)
+
+	published := make(chan struct{})
+	go func() {
+		// The consumer never reads: in (1) + out (1) + the forwarder's
+		// hand fill up, then Publish blocks until cancel.
+		for i := 0; i < 8; i++ {
+			st.Publish(streamRecord(i))
+		}
+		close(published)
+	}()
+
+	select {
+	case <-published:
+		t.Fatal("publisher never blocked on a full subscriber")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-published:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher still blocked after cancel")
+	}
+	cancel() // idempotent
+	// The forwarder deregisters asynchronously after cancel.
+	deadline := time.Now().Add(2 * time.Second)
+	for st.NumSubscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("NumSubscribers after cancel = %d, want 0", st.NumSubscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamBackpressure verifies a full subscriber buffer blocks the
+// publisher (no drops, no reordering) and that draining releases it.
+func TestStreamBackpressure(t *testing.T) {
+	st := NewStream()
+	defer st.Close()
+	ch, cancel := st.Subscribe(2)
+	defer cancel()
+
+	const total = 12
+	var published atomic.Int64
+	go func() {
+		for i := 0; i < total; i++ {
+			st.Publish(streamRecord(i))
+			published.Add(1)
+		}
+	}()
+
+	// Without a consumer the publisher must stall well short of total.
+	deadline := time.Now().Add(2 * time.Second)
+	var stalled int64
+	for {
+		cur := published.Load()
+		time.Sleep(50 * time.Millisecond)
+		if published.Load() == cur {
+			stalled = cur
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("publisher never stalled")
+		}
+	}
+	if stalled >= total {
+		t.Fatalf("published all %d records with no consumer; backpressure missing", total)
+	}
+
+	// Draining releases the publisher and delivers everything in order.
+	for i := 0; i < total; i++ {
+		select {
+		case r := <-ch:
+			if r.At != time.Unix(int64(i), 0) {
+				t.Fatalf("record %d out of order: %v", i, r.At)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for record %d", i)
+		}
+	}
+	if got := published.Load(); got != total {
+		t.Errorf("published = %d, want %d", got, total)
+	}
+}

@@ -34,6 +34,7 @@
 package trips
 
 import (
+	"context"
 	"fmt"
 	"image"
 
@@ -44,6 +45,7 @@ import (
 	"trips/internal/events"
 	"trips/internal/floorplan"
 	"trips/internal/geom"
+	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
 	"trips/internal/simul"
@@ -74,6 +76,22 @@ type (
 	Dataset = position.Dataset
 	// DeviceID identifies a positioned object.
 	DeviceID = position.DeviceID
+	// Stream is a live feed of positioning records.
+	Stream = position.Stream
+
+	// OnlineEngine is the streaming translation engine: sharded
+	// per-device sessions running the three-layer pipeline incrementally.
+	OnlineEngine = online.Engine
+	// OnlineConfig parameterizes the online engine.
+	OnlineConfig = online.Config
+	// OnlineResult is one finalized triplet leaving the online engine.
+	OnlineResult = online.Emission
+	// OnlineEmitter is the online engine's output sink.
+	OnlineEmitter = online.Emitter
+	// OnlineStats snapshots the online engine's counters and shard lag.
+	OnlineStats = online.Stats
+	// OnlineSnapshot is the live view of one device's session.
+	OnlineSnapshot = online.Snapshot
 
 	// Semantics is a device's mobility semantics sequence.
 	Semantics = semantics.Sequence
@@ -153,6 +171,17 @@ func LoadDataset(path string) (*Dataset, error) { return position.LoadFile(path)
 
 // NewDataset returns an empty positioning dataset.
 func NewDataset() *Dataset { return position.NewDataset() }
+
+// NewStream returns an open live feed of positioning records.
+func NewStream() *Stream { return position.NewStream() }
+
+// NewOnlineChanEmitter returns a buffered channel sink for the online
+// engine; the engine closes the channel when it shuts down.
+func NewOnlineChanEmitter(buf int) *online.ChanEmitter { return online.NewChanEmitter(buf) }
+
+// OnlineEmitterFunc adapts a callback to the online engine's sink
+// interface.
+func OnlineEmitterFunc(f func(OnlineResult)) OnlineEmitter { return online.EmitterFunc(f) }
 
 // SaveDataset writes a dataset to a .csv or .jsonl file.
 func SaveDataset(path string, ds *Dataset) error { return position.SaveFile(path, ds) }
@@ -253,6 +282,38 @@ func (s *System) Translate(ds *Dataset) ([]Result, error) {
 		return nil, fmt.Errorf("trips: Translate before Train")
 	}
 	return s.tr.Translate(ds), nil
+}
+
+// NewOnline starts a streaming translation engine over the trained
+// pipeline. It requires a successful Train. Feed the engine with Ingest
+// (or attach a Stream via System.Stream) and Close it to seal every open
+// session.
+func (s *System) NewOnline(cfg OnlineConfig) (*OnlineEngine, error) {
+	if s.tr == nil {
+		return nil, fmt.Errorf("trips: NewOnline before Train")
+	}
+	return s.tr.NewOnline(cfg)
+}
+
+// Stream starts an online engine subscribed to a live feed: records
+// published on st translate incrementally until the stream closes or ctx
+// is canceled, at which point the engine closes itself (sealing every open
+// session; a channel emitter's channel closes last). The engine is
+// returned immediately for stats, snapshots, and additional Ingest calls.
+func (s *System) Stream(ctx context.Context, st *Stream, cfg OnlineConfig) (*OnlineEngine, error) {
+	eng, err := s.NewOnline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Subscribe before returning so records published right after this
+	// call cannot be missed.
+	ch, cancel := st.Subscribe(256)
+	go func() {
+		defer cancel()
+		eng.ConsumeChan(ctx, ch)
+		eng.Close()
+	}()
+	return eng, nil
 }
 
 // TranslateSequence runs the pipeline on one sequence without cross-device
