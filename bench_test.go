@@ -17,12 +17,15 @@ import (
 	"trips/internal/annotation"
 	"trips/internal/cleaning"
 	"trips/internal/complement"
+	"trips/internal/dsm"
 	"trips/internal/experiments"
 	"trips/internal/floorplan"
 	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
 	"trips/internal/simul"
+	"trips/internal/storage"
+	"trips/internal/tripstore"
 	"trips/internal/viewer"
 )
 
@@ -388,6 +391,127 @@ func BenchmarkOnlineTranslate(b *testing.B) {
 		}
 		b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
 	})
+}
+
+// warehouseBenchTrips synthesizes n trips in arrival order: 64 devices
+// round-robin, 32 regions, 4-minute stays every 5 seconds — the shape a
+// day of online emissions has.
+func warehouseBenchTrips(n int) []tripstore.Trip {
+	const devices, regions = 64, 32
+	start := time.Date(2017, 1, 1, 10, 0, 0, 0, time.UTC)
+	seq := make([]int, devices)
+	trips := make([]tripstore.Trip, 0, n)
+	for i := 0; i < n; i++ {
+		d := i % devices
+		r := (i * 7) % regions
+		trips = append(trips, tripstore.Trip{
+			Device: position.DeviceID(fmt.Sprintf("dev-%03d", d)),
+			Seq:    seq[d],
+			Triplet: semantics.Triplet{
+				Event:    semantics.EventStay,
+				Region:   fmt.Sprintf("shop-%02d", r),
+				RegionID: dsm.RegionID(fmt.Sprintf("r-%02d", r)),
+				From:     start.Add(time.Duration(i) * 5 * time.Second),
+				To:       start.Add(time.Duration(i)*5*time.Second + 4*time.Minute),
+			},
+		})
+		seq[d]++
+	}
+	return trips
+}
+
+// BenchmarkWarehouseIngest measures the warehouse write path: index
+// maintenance alone (memory) and with the batched segment log underneath
+// (durable).
+func BenchmarkWarehouseIngest(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		trips := warehouseBenchTrips(size)
+		b.Run(fmt.Sprintf("memory-%dk", size/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w, err := tripstore.New(tripstore.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, tr := range trips {
+					if err := w.Insert(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(size*b.N)/b.Elapsed().Seconds(), "trips/s")
+		})
+	}
+	trips := warehouseBenchTrips(10_000)
+	b.Run("durable-10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st, err := storage.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tr := range trips {
+				if err := w.Insert(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(trips)*b.N)/b.Elapsed().Seconds(), "trips/s")
+	})
+}
+
+// BenchmarkWarehouseQuery measures the read path per predicate class at
+// 10k and 100k warehoused trips: one device's timeline, a time-range
+// overlap via the interval index, and a region posting list intersected
+// with a time range. Pages are capped at 100 trips, the server default.
+func BenchmarkWarehouseQuery(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		w, err := tripstore.New(tripstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trips := warehouseBenchTrips(size)
+		for _, tr := range trips {
+			if err := w.Insert(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mid := trips[size/2].Triplet.From
+		specs := []struct {
+			name string
+			spec tripstore.QuerySpec
+		}{
+			{"device", tripstore.QuerySpec{Device: "dev-007", Limit: 100}},
+			{"time", tripstore.QuerySpec{Since: mid, Until: mid.Add(5 * time.Minute), Limit: 100}},
+			{"region", tripstore.QuerySpec{Region: "shop-03", Since: mid, Until: mid.Add(30 * time.Minute), Limit: 100}},
+		}
+		for _, tc := range specs {
+			b.Run(fmt.Sprintf("%s-%dk", tc.name, size/1000), func(b *testing.B) {
+				page, err := w.Query(tc.spec) // warm: sorts the index once
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(page.Trips) == 0 {
+					b.Fatal("empty benchmark query")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := w.Query(tc.spec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(page.Trips)), "trips/page")
+			})
+		}
+	}
 }
 
 // BenchmarkWalkingDistance isolates the DSM's door-graph Dijkstra, the

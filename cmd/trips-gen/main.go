@@ -9,6 +9,7 @@
 //
 //	trips-gen -out data/ [-floors 7] [-shops 8] [-devices 50] [-seed 1]
 //	          [-hours 12] [-noise 2.5] [-floor-err 0.03] [-outliers 0.05]
+//	          [-dropout 0.006]
 //
 // Files written under -out:
 //
@@ -46,16 +47,18 @@ func main() {
 		noise    = flag.Float64("noise", 2.5, "planar noise sigma in meters")
 		floorErr = flag.Float64("floor-err", 0.03, "floor misread probability")
 		outliers = flag.Float64("outliers", 0.05, "outlier probability")
+		dropout  = flag.Float64("dropout", simul.DefaultErrorModel().DropoutProb,
+			"dropout probability per record (0 = gap-free feed)")
 		perEvent = flag.Int("train-per-event", 40, "training segments per event")
 	)
 	flag.Parse()
 
-	if err := run(*out, *floors, *shops, *devices, *seed, *hours, *noise, *floorErr, *outliers, *perEvent); err != nil {
+	if err := run(*out, *floors, *shops, *devices, *seed, *hours, *noise, *floorErr, *outliers, *dropout, *perEvent); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, floors, shops, devices int, seed int64, hours, noise, floorErr, outliers float64, perEvent int) error {
+func run(out string, floors, shops, devices int, seed int64, hours, noise, floorErr, outliers, dropout float64, perEvent int) error {
 	if err := os.MkdirAll(filepath.Join(out, "truth"), 0o755); err != nil {
 		return err
 	}
@@ -74,6 +77,7 @@ func run(out string, floors, shops, devices int, seed int64, hours, noise, floor
 	em.NoiseSigma = noise
 	em.FloorErrProb = floorErr
 	em.OutlierProb = outliers
+	em.DropoutProb = dropout
 
 	sim := simul.NewSim(model, seed)
 	start := time.Date(2017, 1, 1, 10, 0, 0, 0, time.UTC)

@@ -12,7 +12,7 @@ import (
 
 func TestGenRunProducesArtifacts(t *testing.T) {
 	out := t.TempDir()
-	if err := run(out, 2, 4, 5, 1, 2, 2.5, 0.03, 0.05, 10); err != nil {
+	if err := run(out, 2, 4, 5, 1, 2, 2.5, 0.03, 0.05, 0.006, 10); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// DSM loads and is frozen.
@@ -47,7 +47,7 @@ func TestGenRunProducesArtifacts(t *testing.T) {
 }
 
 func TestGenRunRejectsBadSpec(t *testing.T) {
-	if err := run(t.TempDir(), 0, 4, 1, 1, 1, 2.5, 0, 0, 5); err == nil {
+	if err := run(t.TempDir(), 0, 4, 1, 1, 1, 2.5, 0, 0, 0, 5); err == nil {
 		t.Error("zero floors accepted")
 	}
 }

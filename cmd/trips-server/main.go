@@ -6,16 +6,23 @@
 // online translation engine: POST /ingest feeds live positioning records,
 // and GET /live/{device} serves the incrementally-built semantics.
 //
+// Every translated trip — batch results at startup and online-sealed
+// triplets as they emit — lands in the trip warehouse, queryable through
+// GET /trips, GET /trips/{device}, and GET /regions/{id}/visits with
+// device/region/event/since/until/limit/cursor parameters. With -store the
+// warehouse persists (segment log + snapshot) and survives restarts.
+//
 // Usage:
 //
 //	trips-server -demo                   # self-generated mall dataset
 //	trips-server -dsm mall.json -data raw.csv -events events.json
-//	trips-server -addr :8765 -demo
+//	trips-server -addr :8765 -demo -store warehouse/
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
@@ -25,7 +32,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
@@ -37,6 +43,8 @@ import (
 	"trips/internal/position"
 	"trips/internal/semantics"
 	"trips/internal/simul"
+	"trips/internal/storage"
+	"trips/internal/tripstore"
 	"trips/internal/viewer"
 )
 
@@ -47,11 +55,7 @@ type server struct {
 	devices []position.DeviceID
 
 	engine *online.Engine
-
-	// live accumulates the triplets the online engine has sealed, per
-	// device, for /live/{device}.
-	liveMu sync.Mutex
-	live   map[position.DeviceID]*semantics.Sequence
+	wh     *tripstore.Warehouse
 }
 
 func main() {
@@ -63,10 +67,11 @@ func main() {
 		dsmPath    = flag.String("dsm", "", "DSM JSON path")
 		dataPath   = flag.String("data", "", "positioning dataset")
 		eventsPath = flag.String("events", "", "Event Editor state")
+		storeDir   = flag.String("store", "", "warehouse directory (empty = in-memory only)")
 	)
 	flag.Parse()
 
-	s, err := load(*demo, *dsmPath, *dataPath, *eventsPath)
+	s, err := load(*demo, *dsmPath, *dataPath, *eventsPath, *storeDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +100,10 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Print(err)
 	}
-	s.engine.Close() // seal and emit every open session
+	s.engine.Close() // seal and emit every open session (flushes the warehouse log)
+	if err := s.wh.Close(); err != nil {
+		log.Print(err)
+	}
 }
 
 // mux wires all routes: the batch Viewer pages plus the online endpoints.
@@ -106,10 +114,14 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/live/", s.handleLive)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/trips", s.handleTrips)
+	mux.HandleFunc("/trips/", s.handleDeviceTrips)
+	mux.HandleFunc("/regions/", s.handleRegionVisits)
+	mux.HandleFunc("/warehouse", s.handleWarehouseStats)
 	return mux
 }
 
-func load(demo bool, dsmPath, dataPath, eventsPath string) (*server, error) {
+func load(demo bool, dsmPath, dataPath, eventsPath, storeDir string) (*server, error) {
 	var (
 		model  *dsm.Model
 		ds     *position.Dataset
@@ -158,38 +170,47 @@ func load(demo bool, dsmPath, dataPath, eventsPath string) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The warehouse stores every translated trip behind both engines;
+	// with -store it persists across restarts (segment log + snapshot).
+	var wh *tripstore.Warehouse
+	if storeDir != "" {
+		st, err := storage.Open(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		if wh, err = tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}}); err != nil {
+			return nil, err
+		}
+	} else if wh, err = tripstore.New(tripstore.Options{}); err != nil {
+		return nil, err
+	}
+
 	s := &server{
 		model:   model,
 		results: make(map[position.DeviceID]core.Result),
 		truths:  truths,
-		live:    make(map[position.DeviceID]*semantics.Sequence),
+		wh:      wh,
 	}
-	for _, r := range tr.Translate(ds) {
+	results, err := tr.TranslateTo(ds, wh)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
 		s.results[r.Device] = r
 		s.devices = append(s.devices, r.Device)
 	}
 	sort.Slice(s.devices, func(i, j int) bool { return s.devices[i] < s.devices[j] })
 
 	// The online engine serves the live-ingest endpoints with the same
-	// trained pipeline.
-	s.engine, err = tr.NewOnline(online.Config{Emitter: online.EmitterFunc(s.record)})
+	// trained pipeline; the warehouse is its sink and the single sealed
+	// store — /live reads sealed triplets back from it, so the server
+	// keeps no second per-device copy that idle-session eviction can't
+	// reclaim (MAC-randomized device churn would grow it forever).
+	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(nil)})
 	if err != nil {
 		return nil, err
 	}
 	return s, nil
-}
-
-// record is the engine's callback sink: it files every sealed triplet
-// under its device for /live.
-func (s *server) record(e online.Emission) {
-	s.liveMu.Lock()
-	defer s.liveMu.Unlock()
-	seq, ok := s.live[e.Device]
-	if !ok {
-		seq = semantics.NewSequence(string(e.Device))
-		s.live[e.Device] = seq
-	}
-	seq.Append(e.Triplet)
 }
 
 // handleIngest accepts positioning records (CSV rows or JSON lines, the
@@ -204,10 +225,13 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ds  *position.Dataset
 		err error
 	)
+	// Both readers materialize the dataset before ingesting; cap the body
+	// so one request cannot exhaust memory.
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
 	if strings.Contains(r.Header.Get("Content-Type"), "json") {
-		ds, err = position.ReadJSONL(r.Body)
+		ds, err = position.ReadJSONL(body)
 	} else {
-		ds, err = position.ReadCSV(r.Body)
+		ds, err = position.ReadCSV(body)
 	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -237,7 +261,9 @@ type liveView struct {
 	TailRecords int                 `json:"tailRecords"`
 }
 
-// handleLive serves the incrementally-built semantics of one device.
+// handleLive serves the incrementally-built semantics of one device:
+// sealed triplets come back from the warehouse (the engine's sink), the
+// open window from the engine snapshot.
 func (s *server) handleLive(w http.ResponseWriter, r *http.Request) {
 	dev := position.DeviceID(strings.TrimPrefix(r.URL.Path, "/live/"))
 	view := liveView{Device: dev}
@@ -250,11 +276,14 @@ func (s *server) handleLive(w http.ResponseWriter, r *http.Request) {
 		view.Watermark = snap.Watermark
 		view.TailRecords = snap.TailRecords
 	}
-	s.liveMu.Lock()
-	if seq, ok := s.live[dev]; ok {
-		view.Sealed = append(view.Sealed, seq.Triplets...)
+	page, err := s.wh.Query(tripstore.QuerySpec{Device: dev})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	s.liveMu.Unlock()
+	for _, tr := range page.Trips {
+		view.Sealed = append(view.Sealed, tr.Triplet)
+	}
 	if n := len(view.Sealed); n > 0 {
 		lastSealed := view.Sealed[n-1].From
 		for len(view.Provisional) > 0 && !view.Provisional[0].From.After(lastSealed) {
@@ -267,6 +296,143 @@ func (s *server) handleLive(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(view)
+}
+
+// parseTripQuery reads the warehouse query parameters shared by the
+// /trips and /regions endpoints: device, region (semantic tag), regionId,
+// event, since/until (RFC3339 or unix milliseconds), inferred,
+// limit (default 100, capped at 1000), cursor.
+func parseTripQuery(r *http.Request) (tripstore.QuerySpec, error) {
+	q := r.URL.Query()
+	spec := tripstore.QuerySpec{
+		Device:   position.DeviceID(q.Get("device")),
+		Region:   q.Get("region"),
+		RegionID: dsm.RegionID(q.Get("regionId")),
+		Event:    semantics.Event(q.Get("event")),
+		Cursor:   q.Get("cursor"),
+		Limit:    100,
+	}
+	if v := q.Get("since"); v != "" {
+		t, err := position.ParseTime(v)
+		if err != nil {
+			return spec, fmt.Errorf("since: %w", err)
+		}
+		spec.Since = t
+	}
+	if v := q.Get("until"); v != "" {
+		t, err := position.ParseTime(v)
+		if err != nil {
+			return spec, fmt.Errorf("until: %w", err)
+		}
+		spec.Until = t
+	}
+	if v := q.Get("inferred"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return spec, fmt.Errorf("inferred: %w", err)
+		}
+		spec.Inferred = &b
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return spec, fmt.Errorf("limit: bad value %q", v)
+		}
+		spec.Limit = n
+	}
+	if spec.Limit > 1000 {
+		spec.Limit = 1000
+	}
+	return spec, nil
+}
+
+func (s *server) serveTripQuery(w http.ResponseWriter, r *http.Request, spec tripstore.QuerySpec) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	page, err := s.wh.Query(spec)
+	if err != nil {
+		// A closed warehouse is a server-side condition (shutdown race),
+		// not a malformed request; only cursor errors are the client's.
+		code := http.StatusBadRequest
+		if errors.Is(err, tripstore.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	if page.Trips == nil {
+		page.Trips = []tripstore.Trip{} // JSON [] rather than null
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(page)
+}
+
+// handleTrips serves GET /trips: the warehouse query endpoint.
+func (s *server) handleTrips(w http.ResponseWriter, r *http.Request) {
+	spec, err := parseTripQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.serveTripQuery(w, r, spec)
+}
+
+// handleDeviceTrips serves GET /trips/{device}: one device's warehoused
+// timeline, same filter parameters as /trips.
+func (s *server) handleDeviceTrips(w http.ResponseWriter, r *http.Request) {
+	dev := position.DeviceID(strings.TrimPrefix(r.URL.Path, "/trips/"))
+	if dev == "" || strings.Contains(string(dev), "/") {
+		http.NotFound(w, r)
+		return
+	}
+	spec, err := parseTripQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec.Device = dev
+	s.serveTripQuery(w, r, spec)
+}
+
+// handleRegionVisits serves GET /regions/{id}/visits: every trip that
+// touched the region, by region ID with a semantic-tag fallback.
+func (s *server) handleRegionVisits(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/regions/")
+	id, action, ok := strings.Cut(rest, "/")
+	if !ok || id == "" || action != "visits" {
+		http.NotFound(w, r)
+		return
+	}
+	spec, err := parseTripQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// A ?device= filter narrows the visits; only the region predicates
+	// are owned by the path.
+	spec.RegionID, spec.Region = "", ""
+	// The path segment resolves against the DSM: a region ID first, a
+	// semantic tag second, so /regions/Nike/visits works as naturally as
+	// /regions/shop-1F-3/visits. Resolution is model-driven (not
+	// data-driven), so pagination cursors stay on one plan.
+	switch {
+	case s.model.Region(dsm.RegionID(id)) != nil:
+		spec.RegionID = dsm.RegionID(id)
+	case s.model.RegionByTag(id) != nil:
+		spec.Region = id
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	s.serveTripQuery(w, r, spec)
+}
+
+// handleWarehouseStats serves the warehouse counters.
+func (s *server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.wh.Stats())
 }
 
 // handleStats serves the online engine's counters.

@@ -232,6 +232,29 @@ func (t *Translator) Translate(ds *position.Dataset) []Result {
 	return results
 }
 
+// ResultSink consumes finalized translation results — the backend side of
+// paper Sec. 4, where results are "stored in the backend for the reuse in
+// other translation tasks". The trip warehouse (internal/tripstore)
+// implements it.
+type ResultSink interface {
+	IngestResult(Result) error
+}
+
+// TranslateTo runs the full two-phase pipeline and forwards every result
+// to the sink before returning them. A nil sink degrades to Translate.
+func (t *Translator) TranslateTo(ds *position.Dataset, sink ResultSink) ([]Result, error) {
+	results := t.Translate(ds)
+	if sink == nil {
+		return results, nil
+	}
+	for _, r := range results {
+		if err := sink.IngestResult(r); err != nil {
+			return results, fmt.Errorf("core: ingest result for %s: %w", r.Device, err)
+		}
+	}
+	return results, nil
+}
+
 // measure computes the conciseness of translating raw into sem, using the
 // CSV encoding size of the raw records as the baseline byte count.
 func measure(raw *position.Sequence, sem *semantics.Sequence) semantics.Conciseness {

@@ -9,7 +9,10 @@ import (
 
 // Emission is one finalized triplet leaving the engine. Per device, Seq
 // increases by one per emission and triplets arrive in timeline order; no
-// ordering holds across devices.
+// ordering holds across devices. Seq restarts at 0 when a device returns
+// after idle eviction (a fresh session epoch), so it is not a durable
+// per-device identity — key durable state on (Device, Triplet.From), as
+// the trip warehouse does.
 type Emission struct {
 	Device position.DeviceID `json:"device"`
 	// Seq is the per-device emission index, counting inferred triplets.

@@ -118,7 +118,9 @@ func (e *Engine) annotatorFor(ss *session) *annotation.Annotator {
 func (e *Engine) shardOf(dev position.DeviceID) *shard {
 	h := fnv.New32a()
 	io.WriteString(h, string(dev))
-	return e.shards[int(h.Sum32())%len(e.shards)]
+	// Unsigned modulo: int(Sum32()) goes negative for half the hash
+	// space on 32-bit ints, and a negative index panics.
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
 }
 
 func (e *Engine) send(em Emission) {

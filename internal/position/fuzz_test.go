@@ -1,0 +1,99 @@
+package position
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord fuzzes both record parsers (CSV rows and JSON lines)
+// with one invariant: any input either errors cleanly or produces records
+// with finite coordinates — never a panic, never a NaN smuggled into the
+// pipeline. Run continuously with
+//
+//	go test -fuzz FuzzParseRecord ./internal/position
+func FuzzParseRecord(f *testing.F) {
+	seeds := []string{
+		"device,x,y,floor,time",
+		"o1,5.1,12.7,3F,2017-01-01T13:02:05Z",
+		"o1,5.1,12.7,B2,1483275725000",
+		"o1,-0.0,1e300,7,0",
+		`o1,"5,1",12.7,3F,2017-01-01T13:02:05Z`,
+		"o1,NaN,12.7,3F,2017-01-01T13:02:05Z",
+		"o1,5.1,+Inf,3F,2017-01-01T13:02:05Z",
+		"o1,5.1,12.7,3F,not-a-time",
+		"o1,5.1,12.7,3F,2017-13-45T99:99:99Z",
+		"o1,5.1,12.7,XF,0",
+		"o1,5.1,12.7", // truncated row
+		"o1,5.1",
+		",,,,",
+		"",
+		"\x00\xff\xfe",
+		`{"device":"o1","x":5.1,"y":12.7,"floor":"3F","time":"2017-01-01T13:02:05Z"}`,
+		`{"device":"o1","x":5e308,"y":5e308,"floor":"1","time":"1"}`,
+		`{"device":"o1","x":1,"y":2,"floor":"","time":""}`,
+		`{"device":"o1"`, // truncated object
+		`{}`,
+		"header,line\no1,5.1,12.7,3F,2017-01-01T13:02:05Z",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		if ds, err := ReadCSV(strings.NewReader(line)); err == nil {
+			checkParsed(t, "csv", ds)
+		}
+		if ds, err := ReadJSONL(strings.NewReader(line)); err == nil {
+			checkParsed(t, "jsonl", ds)
+		}
+	})
+}
+
+func checkParsed(t *testing.T, format string, ds *Dataset) {
+	t.Helper()
+	for _, seq := range ds.Sequences() {
+		for _, r := range seq.Records {
+			if math.IsNaN(r.P.X) || math.IsInf(r.P.X, 0) ||
+				math.IsNaN(r.P.Y) || math.IsInf(r.P.Y, 0) {
+				t.Fatalf("%s accepted non-finite coordinates: %+v", format, r)
+			}
+		}
+	}
+}
+
+// TestParseRecordRejects pins the malformed-input contract the fuzz target
+// asserts probabilistically: these must all error (not panic, not pass).
+func TestParseRecordRejects(t *testing.T) {
+	csvCases := []string{
+		"o1,NaN,12.7,3F,2017-01-01T13:02:05Z",      // NaN x
+		"o1,5.1,nan,3F,2017-01-01T13:02:05Z",       // NaN y
+		"o1,Inf,12.7,3F,2017-01-01T13:02:05Z",      // +Inf
+		"o1,5.1,-Infinity,3F,2017-01-01T13:02:05Z", // -Inf
+		"o1,5.1,1e999,3F,2017-01-01T13:02:05Z",     // overflow
+		"o1,5.1,12.7,3F,not-a-time",                // malformed time
+		"o1,5.1,12.7,3F,2017-01-01T25:61:00Z",      // invalid time fields
+		"o1,5.1,12.7,floor,0",                      // bad floor
+		"o1,5.1,12.7,BX,0",
+		"o2,5.1,12.7",    // truncated line
+		"o2,5.1,12.7,3F", // missing time field
+	}
+	for _, in := range csvCases {
+		// A valid first row keeps the header heuristic out of the way.
+		input := "o0,1.0,2.0,1F,2017-01-01T10:00:00Z\n" + in
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("ReadCSV accepted %q", in)
+		}
+	}
+
+	jsonlCases := []string{
+		`{"device":"o1","x":5.1,"y":12.7,"floor":"3F","time":"nope"}`,
+		`{"device":"o1","x":5.1,"y":12.7,"floor":"","time":"0"}`,
+		`{"device":"o1","x":5.1,"y":12.7,"floor":"3F","time":"0"`,    // truncated
+		`{"device":"o1","x":"NaN","y":12.7,"floor":"3F","time":"0"}`, // wrong type
+	}
+	for _, in := range jsonlCases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSONL accepted %q", in)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -97,14 +98,28 @@ func isNumeric(s string) bool {
 	return err == nil
 }
 
-func parseCSVRow(rec []string) (Record, error) {
-	x, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+// parseCoord parses a planar coordinate, rejecting NaN and infinities:
+// they poison every downstream distance and density computation, so a
+// non-finite coordinate means a corrupt feed, not a position.
+func parseCoord(axis, s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 	if err != nil {
-		return Record{}, fmt.Errorf("bad x %q", rec[1])
+		return 0, fmt.Errorf("bad %s %q", axis, s)
 	}
-	y, err := strconv.ParseFloat(strings.TrimSpace(rec[2]), 64)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite %s %q", axis, s)
+	}
+	return v, nil
+}
+
+func parseCSVRow(rec []string) (Record, error) {
+	x, err := parseCoord("x", rec[1])
 	if err != nil {
-		return Record{}, fmt.Errorf("bad y %q", rec[2])
+		return Record{}, err
+	}
+	y, err := parseCoord("y", rec[2])
+	if err != nil {
+		return Record{}, err
 	}
 	f, err := ParseFloor(rec[3])
 	if err != nil {
@@ -171,6 +186,11 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 		var jr jsonRecord
 		if err := json.Unmarshal([]byte(raw), &jr); err != nil {
 			return nil, fmt.Errorf("position: jsonl line %d: %w", line, err)
+		}
+		// JSON cannot encode NaN/Inf literals, but keep the reader's
+		// contract identical to CSV: only finite coordinates pass.
+		if math.IsNaN(jr.X) || math.IsInf(jr.X, 0) || math.IsNaN(jr.Y) || math.IsInf(jr.Y, 0) {
+			return nil, fmt.Errorf("position: jsonl line %d: non-finite coordinates", line)
 		}
 		f, err := ParseFloor(jr.Floor)
 		if err != nil {

@@ -1,0 +1,435 @@
+package tripstore
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/online"
+	"trips/internal/position"
+	"trips/internal/semantics"
+	"trips/internal/storage"
+)
+
+var t0 = time.Date(2017, 1, 1, 10, 0, 0, 0, time.UTC)
+
+// emitterFunc adapts a no-arg callback to online.Emitter for tee tests.
+type emitterFunc func()
+
+func (f emitterFunc) Emit(online.Emission) { f() }
+
+// emission builds a minimal online emission.
+func emission(dev string, seq int, from time.Duration) online.Emission {
+	return online.Emission{
+		Device: position.DeviceID(dev),
+		Seq:    seq,
+		Triplet: semantics.Triplet{
+			Event:  semantics.EventStay,
+			Region: "nike",
+			From:   t0.Add(from),
+			To:     t0.Add(from + 30*time.Second),
+		},
+	}
+}
+
+// trip builds a test trip: device dev, per-device seq, region tag/id r,
+// period [t0+from, t0+from+dur).
+func trip(dev string, seq int, r string, from, dur time.Duration) Trip {
+	return Trip{
+		Device: position.DeviceID(dev),
+		Seq:    seq,
+		Triplet: semantics.Triplet{
+			Event:    semantics.EventStay,
+			Region:   r,
+			RegionID: dsm.RegionID("id-" + r),
+			From:     t0.Add(from),
+			To:       t0.Add(from + dur),
+		},
+	}
+}
+
+func mustInsert(t *testing.T, w *Warehouse, trips ...Trip) {
+	t.Helper()
+	for _, tr := range trips {
+		if err := w.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func memWarehouse(t *testing.T) *Warehouse {
+	t.Helper()
+	w, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// queryDevices extracts "dev/seq" keys from a page for compact assertions.
+func keysOf(p Page) []string {
+	if len(p.Trips) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(p.Trips))
+	for _, tr := range p.Trips {
+		out = append(out, string(tr.Device)+"/"+string(rune('0'+tr.Seq)))
+	}
+	return out
+}
+
+func TestInsertDedupeAndStats(t *testing.T) {
+	w := memWarehouse(t)
+	a := trip("a", 0, "nike", 0, 5*time.Minute)
+	mustInsert(t, w, a, trip("a", 1, "hall", 6*time.Minute, time.Minute), a) // dup
+	mustInsert(t, w, trip("b", 0, "nike", 2*time.Minute, 10*time.Minute))
+
+	st := w.Stats()
+	if st.Trips != 3 || st.Devices != 2 || st.Duplicates != 1 {
+		t.Errorf("stats = %+v, want 3 trips, 2 devices, 1 dup", st)
+	}
+	if st.Regions != 2 {
+		t.Errorf("regions = %d, want 2", st.Regions)
+	}
+	if st.MaxTripSpan != 10*time.Minute {
+		t.Errorf("maxTripSpan = %s, want 10m", st.MaxTripSpan)
+	}
+	if got := w.Devices(); !reflect.DeepEqual(got, []position.DeviceID{"a", "b"}) {
+		t.Errorf("devices = %v", got)
+	}
+	if got := w.Regions(); !reflect.DeepEqual(got, []string{"id-hall", "id-nike"}) {
+		t.Errorf("regions = %v", got)
+	}
+}
+
+func TestQueryPredicates(t *testing.T) {
+	w := memWarehouse(t)
+	mustInsert(t, w,
+		trip("a", 0, "nike", 0, 5*time.Minute),
+		trip("a", 1, "hall", 6*time.Minute, time.Minute),
+		trip("b", 0, "nike", 2*time.Minute, 10*time.Minute),
+		trip("b", 1, "adidas", 15*time.Minute, 5*time.Minute),
+	)
+	inferred := trip("b", 2, "hall", 21*time.Minute, time.Minute)
+	inferred.Triplet.Inferred = true
+	inferred.Triplet.Event = semantics.EventPassBy
+	mustInsert(t, w, inferred)
+
+	cases := []struct {
+		name string
+		spec QuerySpec
+		want []string
+	}{
+		{"all", QuerySpec{}, []string{"a/0", "b/0", "a/1", "b/1", "b/2"}},
+		{"device", QuerySpec{Device: "a"}, []string{"a/0", "a/1"}},
+		{"region-tag", QuerySpec{Region: "nike"}, []string{"a/0", "b/0"}},
+		{"region-id", QuerySpec{RegionID: "id-nike"}, []string{"a/0", "b/0"}},
+		{"event", QuerySpec{Event: semantics.EventPassBy}, []string{"b/2"}},
+		{"inferred", QuerySpec{Inferred: boolPtr(true)}, []string{"b/2"}},
+		{"observed-device", QuerySpec{Device: "b", Inferred: boolPtr(false)}, []string{"b/0", "b/1"}},
+		// Overlap semantics: [4m, 7m) catches a/0 (ends 5m), b/0 (spans),
+		// a/1 (starts 6m) but not b/1 (starts 15m).
+		{"time-overlap", QuerySpec{Since: t0.Add(4 * time.Minute), Until: t0.Add(7 * time.Minute)},
+			[]string{"a/0", "b/0", "a/1"}},
+		{"time-exact-end-excluded", QuerySpec{Since: t0.Add(5 * time.Minute), Until: t0.Add(6 * time.Minute)},
+			[]string{"b/0"}},
+		{"since-only", QuerySpec{Since: t0.Add(16 * time.Minute)}, []string{"b/1", "b/2"}},
+		{"until-only", QuerySpec{Until: t0.Add(2 * time.Minute)}, []string{"a/0"}},
+		{"region-and-time", QuerySpec{Region: "nike", Since: t0.Add(6 * time.Minute)}, []string{"b/0"}},
+		{"empty-range", QuerySpec{Since: t0.Add(time.Hour), Until: t0.Add(time.Hour)}, nil},
+		{"unknown-device", QuerySpec{Device: "ghost"}, nil},
+		{"unknown-region", QuerySpec{Region: "ghost"}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			page, err := w.Query(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := keysOf(page); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+// TestDedupeByStartInstantNotSeq pins the identity rule: producer
+// sequence numbers restart per epoch (the online engine after a restart,
+// batch results starting at 0), so two trips sharing a seq but starting
+// at different instants are both real, while re-translations of the same
+// timeline dedupe on the start instant whatever their seq says.
+func TestDedupeByStartInstantNotSeq(t *testing.T) {
+	w := memWarehouse(t)
+	mustInsert(t, w, trip("a", 0, "nike", 0, time.Minute)) // batch epoch
+	// Online epoch for the same device: seq restarts at 0 but the trip is
+	// genuinely new — it must be stored, not dropped as a duplicate.
+	mustInsert(t, w, trip("a", 0, "hall", 10*time.Minute, time.Minute))
+	if st := w.Stats(); st.Trips != 2 || st.Duplicates != 0 {
+		t.Errorf("seq collision across epochs dropped a trip: %+v", st)
+	}
+	// Re-translation of the same timeline: same start instant, different
+	// seq — a duplicate.
+	mustInsert(t, w, trip("a", 7, "nike", 0, time.Minute))
+	if st := w.Stats(); st.Trips != 2 || st.Duplicates != 1 {
+		t.Errorf("same-instant re-translation not deduped: %+v", st)
+	}
+}
+
+func TestQueryUsesIndexNotFullScan(t *testing.T) {
+	w := memWarehouse(t)
+	// 100 devices × 10 trips, one device in region "rare" once.
+	for d := 0; d < 100; d++ {
+		dev := position.DeviceID(fmt.Sprintf("d%02d", d))
+		for s := 0; s < 10; s++ {
+			tr := trip(string(dev), s, "common", time.Duration(s)*time.Minute, 30*time.Second)
+			if d == 42 && s == 5 {
+				tr.Triplet.Region = "rare"
+				tr.Triplet.RegionID = "id-rare"
+			}
+			mustInsert(t, w, tr)
+		}
+	}
+	page, err := w.Query(QuerySpec{Region: "rare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Trips) != 1 {
+		t.Fatalf("got %d trips, want 1", len(page.Trips))
+	}
+	if page.Scanned != 1 {
+		t.Errorf("region query scanned %d entries, want 1 (posting list, not full scan)", page.Scanned)
+	}
+
+	// Device query scans only that partition.
+	page, err = w.Query(QuerySpec{Device: "d42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Trips) != 10 || page.Scanned != 10 {
+		t.Errorf("device query: %d trips, scanned %d; want 10/10", len(page.Trips), page.Scanned)
+	}
+
+	// Time query scans only the candidate From-window, not all 1000.
+	page, err = w.Query(QuerySpec{Since: t0.Add(9 * time.Minute), Until: t0.Add(10 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Trips) != 100 {
+		t.Errorf("time query returned %d trips, want 100", len(page.Trips))
+	}
+	if page.Scanned >= 1000 {
+		t.Errorf("time query scanned %d of 1000 entries — interval index not applied", page.Scanned)
+	}
+}
+
+func TestQueryPagination(t *testing.T) {
+	w := memWarehouse(t)
+	// Interleave two devices so global order alternates.
+	for s := 0; s < 5; s++ {
+		mustInsert(t, w,
+			trip("a", s, "nike", time.Duration(2*s)*time.Minute, time.Minute),
+			trip("b", s, "nike", time.Duration(2*s+1)*time.Minute, time.Minute),
+		)
+	}
+	var got []string
+	spec := QuerySpec{Limit: 3}
+	pages := 0
+	for {
+		page, err := w.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, keysOf(page)...)
+		pages++
+		if page.Next == "" {
+			break
+		}
+		if len(page.Trips) != 3 {
+			t.Fatalf("non-final page has %d trips, want 3", len(page.Trips))
+		}
+		spec.Cursor = page.Next
+	}
+	want := []string{"a/0", "b/0", "a/1", "b/1", "a/2", "b/2", "a/3", "b/3", "a/4", "b/4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("paginated walk = %v, want %v", got, want)
+	}
+	if pages != 4 {
+		t.Errorf("took %d pages, want 4 (3+3+3+1)", pages)
+	}
+
+	// Bad cursors error instead of restarting silently.
+	if _, err := w.Query(QuerySpec{Cursor: "???"}); err == nil {
+		t.Error("garbage cursor accepted")
+	}
+	if _, err := w.Query(QuerySpec{Cursor: "djJ8MXwxfGE"}); err == nil { // "v2|1|1|a"
+		t.Error("wrong-version cursor accepted")
+	}
+}
+
+// TestQueryOutOfOrderIngest exercises the amortized sort: trips inserted in
+// reverse still query in global order.
+func TestQueryOutOfOrderIngest(t *testing.T) {
+	w := memWarehouse(t)
+	for s := 4; s >= 0; s-- {
+		mustInsert(t, w, trip("a", s, "nike", time.Duration(s)*time.Minute, time.Minute))
+	}
+	page, err := w.Query(QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a/0", "a/1", "a/2", "a/3", "a/4"}
+	if got := keysOf(page); !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Mixed: more out-of-order inserts after the sort, then re-query.
+	mustInsert(t, w, trip("b", 1, "nike", 30*time.Second, time.Minute))
+	mustInsert(t, w, trip("b", 0, "nike", 10*time.Second, time.Minute))
+	page, err = w.Query(QuerySpec{Region: "nike", Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := keysOf(page); !reflect.DeepEqual(got, []string{"a/0", "b/0", "b/1"}) {
+		t.Errorf("after reindex got %v", got)
+	}
+}
+
+func TestIngestSequence(t *testing.T) {
+	w := memWarehouse(t)
+	seq := semantics.NewSequence("dev")
+	seq.Append(semantics.Triplet{Event: semantics.EventStay, Region: "nike", From: t0, To: t0.Add(time.Minute)})
+	seq.Append(semantics.Triplet{Event: semantics.EventPassBy, Region: "hall", From: t0.Add(2 * time.Minute), To: t0.Add(3 * time.Minute)})
+	if err := w.IngestSequence("dev", seq); err != nil {
+		t.Fatal(err)
+	}
+	page, err := w.Query(QuerySpec{Device: "dev"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Trips) != 2 || page.Trips[0].Seq != 0 || page.Trips[1].Seq != 1 {
+		t.Errorf("ingested sequence mismatch: %+v", page.Trips)
+	}
+	// Re-ingestion is idempotent.
+	if err := w.IngestSequence("dev", seq); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Trips != 2 || st.Duplicates != 2 {
+		t.Errorf("after re-ingest stats = %+v", st)
+	}
+}
+
+func TestDurabilityReopen(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Warehouse {
+		st, err := storage.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := New(Options{Log: &LogOptions{Store: st, BatchSize: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	w := open()
+	var all []Trip
+	for s := 0; s < 10; s++ { // 10 trips, batch 4 → 2 sealed segments + 2 pending
+		tr := trip("a", s, "nike", time.Duration(s)*time.Minute, time.Minute)
+		all = append(all, tr)
+		mustInsert(t, w, tr)
+	}
+	if st := w.Stats(); st.Segments != 2 || st.PendingLog != 2 {
+		t.Fatalf("stats = %+v, want 2 segments + 2 pending", st)
+	}
+	if err := w.Close(); err != nil { // Close flushes the pending tail
+		t.Fatal(err)
+	}
+	if err := w.Insert(all[0]); err != ErrClosed {
+		t.Errorf("insert after close = %v, want ErrClosed", err)
+	}
+	if _, err := w.Query(QuerySpec{}); err != ErrClosed {
+		t.Errorf("query after close = %v, want ErrClosed", err)
+	}
+
+	spec := QuerySpec{Region: "nike", Since: t0.Add(3 * time.Minute), Until: t0.Add(8 * time.Minute)}
+	w2 := open()
+	page, err := w2.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trips 3..7 overlap [3m, 8m): trip 2 ends exactly at 3m and the
+	// range is half-open, so it is out.
+	if len(page.Trips) != 5 {
+		t.Fatalf("reopened query got %d trips, want 5: %v", len(page.Trips), keysOf(page))
+	}
+	if st := w2.Stats(); st.Trips != 10 || st.Duplicates != 0 {
+		t.Errorf("reopened stats = %+v, want 10 trips, 0 dupes", st)
+	}
+
+	// Snapshot compacts: segments fold into the snapshot document.
+	if err := w2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w2.Stats(); st.Segments != 0 {
+		t.Errorf("segments after snapshot = %d, want 0", st.Segments)
+	}
+	mustInsert(t, w2, trip("b", 0, "adidas", 20*time.Minute, time.Minute))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third generation: snapshot + post-snapshot segment replay together.
+	w3 := open()
+	defer w3.Close()
+	if st := w3.Stats(); st.Trips != 11 {
+		t.Fatalf("third-generation trips = %d, want 11", st.Trips)
+	}
+	page3, err := w3.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(page3.Trips, page.Trips) {
+		t.Errorf("reopened warehouse answers differently:\nfirst:  %v\nsecond: %v",
+			keysOf(page), keysOf(page3))
+	}
+}
+
+func TestSnapshotMemoryOnlyErrors(t *testing.T) {
+	w := memWarehouse(t)
+	if err := w.Snapshot(); err == nil {
+		t.Error("snapshot of memory-only warehouse succeeded")
+	}
+	if err := w.Flush(); err != nil {
+		t.Errorf("flush of memory-only warehouse: %v", err)
+	}
+}
+
+func TestEmitterTee(t *testing.T) {
+	w := memWarehouse(t)
+	var forwarded int
+	em := w.Emitter(emitterFunc(func() { forwarded++ }))
+	for s := 0; s < 3; s++ {
+		em.Emit(emission("dev", s, time.Duration(s)*time.Minute))
+	}
+	if forwarded != 3 {
+		t.Errorf("forwarded %d emissions, want 3", forwarded)
+	}
+	if st := w.Stats(); st.Trips != 3 {
+		t.Errorf("warehoused %d trips, want 3", st.Trips)
+	}
+	if c, ok := em.(interface{ Close() error }); !ok {
+		t.Error("store emitter is not closable")
+	} else if err := c.Close(); err != nil {
+		t.Error(err)
+	}
+	// Nil downstream works too.
+	em2 := w.Emitter(nil)
+	em2.Emit(emission("dev2", 0, 0))
+	if st := w.Stats(); st.Trips != 4 {
+		t.Errorf("nil-downstream emit lost: %+v", w.Stats())
+	}
+}

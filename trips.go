@@ -49,6 +49,8 @@ import (
 	"trips/internal/position"
 	"trips/internal/semantics"
 	"trips/internal/simul"
+	"trips/internal/storage"
+	"trips/internal/tripstore"
 	"trips/internal/viewer"
 )
 
@@ -92,6 +94,19 @@ type (
 	OnlineStats = online.Stats
 	// OnlineSnapshot is the live view of one device's session.
 	OnlineSnapshot = online.Snapshot
+
+	// Warehouse is the queryable trip warehouse: indexed, durable storage
+	// for translated trips behind the batch and online engines.
+	Warehouse = tripstore.Warehouse
+	// Trip is one warehoused mobility-semantics triplet.
+	Trip = tripstore.Trip
+	// TripQuery selects warehoused trips by device, region, time range,
+	// and semantic labels.
+	TripQuery = tripstore.QuerySpec
+	// TripPage is one page of warehouse query results.
+	TripPage = tripstore.Page
+	// WarehouseStats describes the warehouse contents.
+	WarehouseStats = tripstore.Stats
 
 	// Semantics is a device's mobility semantics sequence.
 	Semantics = semantics.Sequence
@@ -183,6 +198,20 @@ func NewOnlineChanEmitter(buf int) *online.ChanEmitter { return online.NewChanEm
 // interface.
 func OnlineEmitterFunc(f func(OnlineResult)) OnlineEmitter { return online.EmitterFunc(f) }
 
+// NewWarehouse returns a memory-only trip warehouse.
+func NewWarehouse() (*Warehouse, error) { return tripstore.New(tripstore.Options{}) }
+
+// OpenWarehouse opens a durable trip warehouse rooted at a backend store
+// directory, replaying the persisted segment log and snapshot so it
+// answers queries exactly as it did before the restart.
+func OpenWarehouse(dir string) (*Warehouse, error) {
+	st, err := storage.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}})
+}
+
 // SaveDataset writes a dataset to a .csv or .jsonl file.
 func SaveDataset(path string, ds *Dataset) error { return position.SaveFile(path, ds) }
 
@@ -229,6 +258,7 @@ type System struct {
 	editor *events.Editor
 	em     *annotation.EventModel
 	tr     *core.Translator
+	wh     *tripstore.Warehouse
 
 	// Pipeline configuration applied at Train time.
 	CleanerConfig      config.CleanerConfig
@@ -253,6 +283,15 @@ func (s *System) Editor() *Editor { return s.editor }
 // store).
 func (s *System) SetEditor(e *Editor) { s.editor = e }
 
+// AttachWarehouse connects a trip warehouse to the system: every batch
+// Translate result ingests into it, and online engines created afterwards
+// fan their sealed triplets into it before reaching the configured
+// emitter. Pass nil to detach.
+func (s *System) AttachWarehouse(w *Warehouse) { s.wh = w }
+
+// Warehouse returns the attached trip warehouse, or nil.
+func (s *System) Warehouse() *Warehouse { return s.wh }
+
 // Train fits the identification model on the editor's training set using
 // the named classifier ("" = gaussian-nb, or logistic-regression /
 // decision-tree) and assembles the pipeline.
@@ -276,10 +315,14 @@ func (s *System) Train(classifier string) error {
 func (s *System) Trained() bool { return s.tr != nil }
 
 // Translate runs the full two-phase pipeline over the dataset. It requires
-// a successful Train.
+// a successful Train. With a warehouse attached, every result ingests into
+// it before returning.
 func (s *System) Translate(ds *Dataset) ([]Result, error) {
 	if s.tr == nil {
 		return nil, fmt.Errorf("trips: Translate before Train")
+	}
+	if s.wh != nil {
+		return s.tr.TranslateTo(ds, s.wh)
 	}
 	return s.tr.Translate(ds), nil
 }
@@ -287,10 +330,15 @@ func (s *System) Translate(ds *Dataset) ([]Result, error) {
 // NewOnline starts a streaming translation engine over the trained
 // pipeline. It requires a successful Train. Feed the engine with Ingest
 // (or attach a Stream via System.Stream) and Close it to seal every open
-// session.
+// session. With a warehouse attached, sealed triplets fan into it before
+// reaching cfg.Emitter (which may then be nil: the warehouse becomes the
+// sink).
 func (s *System) NewOnline(cfg OnlineConfig) (*OnlineEngine, error) {
 	if s.tr == nil {
 		return nil, fmt.Errorf("trips: NewOnline before Train")
+	}
+	if s.wh != nil {
+		cfg.Emitter = s.wh.Emitter(cfg.Emitter)
 	}
 	return s.tr.NewOnline(cfg)
 }
