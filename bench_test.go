@@ -514,6 +514,121 @@ func BenchmarkWarehouseQuery(b *testing.B) {
 	}
 }
 
+// analyticsBenchTrips reshapes the warehouse bench workload for the
+// analytics views: same 64 devices and 32 regions, but each device walks
+// through the regions (one step per trip) instead of revisiting a single
+// one, so the flow matrix actually populates.
+func analyticsBenchTrips(n int) []tripstore.Trip {
+	trips := warehouseBenchTrips(n)
+	const devices, regions = 64, 32
+	for i := range trips {
+		r := (i%devices*7 + i/devices) % regions
+		trips[i].Triplet.Region = fmt.Sprintf("shop-%02d", r)
+		trips[i].Triplet.RegionID = dsm.RegionID(fmt.Sprintf("r-%02d", r))
+	}
+	return trips
+}
+
+// BenchmarkAnalyticsIngest measures the analytics fold: trips/s through
+// Engine.Ingest at 10k and 100k trips (the warehouse bench workload: 64
+// devices, 32 regions). Per-trip cost is O(1) map work, so trips/s should
+// hold flat as the corpus grows.
+func BenchmarkAnalyticsIngest(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		trips := analyticsBenchTrips(size)
+		b.Run(fmt.Sprintf("%dk", size/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := NewAnalytics(AnalyticsConfig{Shards: 4})
+				for _, tr := range trips {
+					a.Ingest(tr.Device, tr.Triplet)
+				}
+			}
+			b.ReportMetric(float64(size*b.N)/b.Elapsed().Seconds(), "trips/s")
+		})
+	}
+}
+
+// BenchmarkAnalyticsQuery measures every materialized view's read path at
+// 10k and 100k folded trips. The acceptance property of the subsystem is
+// that these stay O(view) — occupancy/top-k scale with regions, flows with
+// region pairs, dwell with histogram buckets — so the numbers must stay
+// flat from 10k to 100k (the device and region populations are identical;
+// only the trip count grows 10×).
+func BenchmarkAnalyticsQuery(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		a := NewAnalytics(AnalyticsConfig{Shards: 4})
+		for _, tr := range analyticsBenchTrips(size) {
+			a.Ingest(tr.Device, tr.Triplet)
+		}
+		queries := []struct {
+			name string
+			run  func() int
+		}{
+			{"occupancy", func() int { return len(a.Occupancy(0)) }},
+			{"flows", func() int { return len(a.Flows("", 10)) }},
+			{"dwell", func() int {
+				st, _ := a.Dwell("r-03")
+				return int(st.Count)
+			}},
+			{"topk", func() int { return len(a.TopK(5, 30*time.Minute)) }},
+		}
+		for _, q := range queries {
+			b.Run(fmt.Sprintf("%s-%dk", q.name, size/1000), func(b *testing.B) {
+				if q.run() == 0 {
+					b.Fatal("empty benchmark query")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q.run()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAnalyticsSubscribe measures ingest throughput with live
+// subscribers attached and draining — the fan-out cost of the continuous
+// query path.
+func BenchmarkAnalyticsSubscribe(b *testing.B) {
+	trips := analyticsBenchTrips(10_000)
+	for _, subs := range []int{0, 1, 8} {
+		b.Run(fmt.Sprintf("subscribers-%d", subs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := NewAnalytics(AnalyticsConfig{Shards: 4, SubscriberBuffer: 1024})
+				var wg sync.WaitGroup
+				subsList := make([]*AnalyticsSubscription, subs)
+				for s := range subsList {
+					subsList[s] = a.Subscribe(nil)
+					wg.Add(1)
+					go func(sub *AnalyticsSubscription) {
+						defer wg.Done()
+						for range sub.C() {
+						}
+					}(subsList[s])
+				}
+				b.StartTimer()
+				for _, tr := range trips {
+					a.Ingest(tr.Device, tr.Triplet)
+				}
+				b.StopTimer()
+				for _, sub := range subsList {
+					sub.Close()
+				}
+				wg.Wait()
+				if st := a.Stats(); st.Trips != int64(len(trips)) {
+					b.Fatalf("folded %d trips", st.Trips)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(trips)*b.N)/b.Elapsed().Seconds(), "trips/s")
+		})
+	}
+}
+
 // BenchmarkWalkingDistance isolates the DSM's door-graph Dijkstra, the
 // hot spot of the Cleaning layer.
 func BenchmarkWalkingDistance(b *testing.B) {

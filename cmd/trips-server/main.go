@@ -12,6 +12,12 @@
 // device/region/event/since/until/limit/cursor parameters. With -store the
 // warehouse persists (segment log + snapshot) and survives restarts.
 //
+// The same trip stream feeds the incremental analytics views — live
+// occupancy, region flows, dwell times, windowed popularity — served under
+// GET /analytics/* with an SSE continuous-query endpoint at
+// GET /analytics/subscribe (see analytics.go). On startup the views
+// bootstrap from the warehouse, so a -store restart resumes them intact.
+//
 // Usage:
 //
 //	trips-server -demo                   # self-generated mall dataset
@@ -35,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"trips/internal/analytics"
 	"trips/internal/config"
 	"trips/internal/core"
 	"trips/internal/dsm"
@@ -56,6 +63,7 @@ type server struct {
 
 	engine *online.Engine
 	wh     *tripstore.Warehouse
+	an     *analytics.Engine
 }
 
 func main() {
@@ -118,6 +126,12 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/trips/", s.handleDeviceTrips)
 	mux.HandleFunc("/regions/", s.handleRegionVisits)
 	mux.HandleFunc("/warehouse", s.handleWarehouseStats)
+	mux.HandleFunc("/analytics", s.handleAnalyticsStats)
+	mux.HandleFunc("/analytics/occupancy", s.handleOccupancy)
+	mux.HandleFunc("/analytics/flows", s.handleFlows)
+	mux.HandleFunc("/analytics/dwell/", s.handleDwell)
+	mux.HandleFunc("/analytics/topk", s.handleTopK)
+	mux.HandleFunc("/analytics/subscribe", s.handleSubscribe)
 	return mux
 }
 
@@ -201,12 +215,22 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir string) (*server, e
 	}
 	sort.Slice(s.devices, func(i, j int) bool { return s.devices[i] < s.devices[j] })
 
+	// The analytics engine bootstraps from the warehouse — which at this
+	// point holds the startup batch translation plus anything a previous
+	// -store run persisted — so its views match what live ingestion of the
+	// same trips would have built.
+	s.an = analytics.New(analytics.Config{})
+	if err := s.an.Bootstrap(wh); err != nil {
+		return nil, err
+	}
+
 	// The online engine serves the live-ingest endpoints with the same
 	// trained pipeline; the warehouse is its sink and the single sealed
 	// store — /live reads sealed triplets back from it, so the server
 	// keeps no second per-device copy that idle-session eviction can't
-	// reclaim (MAC-randomized device churn would grow it forever).
-	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(nil)})
+	// reclaim (MAC-randomized device churn would grow it forever). Sealed
+	// emissions tee through the analytics views on their way in.
+	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(s.an.Emitter(nil))})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,722 @@
+// Package analytics is the incremental mobility-analytics engine of TRIPS:
+// materialized aggregate views over the stream of sealed mobility-semantics
+// triplets, maintained as the triplets arrive instead of recomputed by
+// rescanning the warehouse.
+//
+// The warehouse (internal/tripstore) answers point lookups — one device's
+// timeline, one region's visits — but every aggregate question (how many
+// people are in Nike right now, where do Adidas visitors go next, how long
+// do shoppers dwell at the Cashier, which shops were hottest in the last
+// quarter hour) would force a full scan. This package keeps those answers
+// as first-class state:
+//
+//   - per-region live occupancy — which region each device is currently in,
+//     folded into per-region device counts,
+//   - region→region transition (flow) matrices — consecutive region-carrying
+//     triplets of one device count one directed transition,
+//   - per-region dwell-time histograms with quantile estimation — fixed
+//     exponential buckets, so merging and querying are O(buckets),
+//   - windowed region popularity — a time-bucketed ring keyed by triplet
+//     start time, answering top-k over "the last N minutes/hours" by summing
+//     the covered buckets.
+//
+// # Determinism
+//
+// Both producers feed the same Ingest path: the online engine's sealed
+// emissions (via the Emitter tee) and a warehouse replay (Bootstrap), so a
+// cold start over an existing store reaches the same state as live
+// ingestion. That equivalence is by construction: every view is a fold that
+// depends only on each device's own triplet order (which both producers
+// deliver in timeline order) combined across devices by commutative sums.
+// The ring prunes buckets strictly by the high-watermark, which has the
+// same final value under any interleaving, so pruned state is identical
+// too; only the diagnostic counters (late-bucket drops) may differ.
+//
+// # Concurrency
+//
+// Devices are hashed across shards; each shard guards its own device states
+// and additive view fragments with one mutex, so ingest from many engine
+// shards rarely contends. Queries take every shard lock briefly, merge the
+// fragments, and return — O(view), never O(trips). Live subscribers attach
+// through a Hub (see subscribe.go) that fans per-ingest deltas to buffered
+// per-subscriber channels and evicts consumers that stop draining.
+package analytics
+
+import (
+	"hash/fnv"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"trips/internal/core"
+	"trips/internal/dsm"
+	"trips/internal/online"
+	"trips/internal/position"
+	"trips/internal/semantics"
+)
+
+// Config parameterizes the engine. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Shards is the number of independently locked view fragments devices
+	// are hashed across. Default min(NumCPU, 8).
+	Shards int
+
+	// BucketWidth is the time-bucket width of the popularity ring (event
+	// time, rounded up to whole seconds). Default 1 minute.
+	BucketWidth time.Duration
+
+	// Buckets is the ring length: how many buckets of history the windowed
+	// top-k can cover. Older buckets are pruned as the watermark advances.
+	// Default 360 (six hours at the default width).
+	Buckets int
+
+	// SubscriberBuffer is the per-subscriber delta channel depth before a
+	// slow consumer is evicted. Default 64.
+	SubscriberBuffer int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = time.Minute
+	}
+	if c.BucketWidth < time.Second {
+		c.BucketWidth = time.Second
+	}
+	c.BucketWidth = c.BucketWidth.Round(time.Second)
+	if c.Buckets <= 0 {
+		c.Buckets = 360
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 64
+	}
+}
+
+// Engine maintains the materialized views. Create with New, feed it with
+// Ingest / the Emitter tee / Bootstrap, and read it with the query methods.
+// Safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	hub    *Hub
+}
+
+// New returns an engine with empty views.
+func New(cfg Config) *Engine {
+	cfg.applyDefaults()
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	e.hub = newHub(cfg.SubscriberBuffer)
+	for i := range e.shards {
+		e.shards[i] = newShard()
+	}
+	return e
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// deviceState is the per-device fold: where the device currently is and the
+// last region-carrying triplet for flow counting.
+type deviceState struct {
+	region   dsm.RegionID // current region; "" = in no region
+	lastFrom time.Time    // ordering guard
+	lastTo   time.Time    // staleness filter input
+	// prevRegion is the most recent region-carrying triplet's region — the
+	// flow predecessor. Tracked separately from region because region-less
+	// triplets must not break a→b transition chains (mirroring the online
+	// engine's knowledge aggregation).
+	prevRegion dsm.RegionID
+}
+
+// shard is one independently locked view fragment.
+type shard struct {
+	mu sync.Mutex
+
+	devices   map[position.DeviceID]*deviceState
+	occupancy map[dsm.RegionID]int   // devices currently in region
+	visits    map[dsm.RegionID]int64 // lifetime triplet count per region
+	tags      map[dsm.RegionID]string
+	flows     map[flowKey]int64
+	dwell     map[dsm.RegionID]*histogram
+	ring      map[int64]map[dsm.RegionID]int64 // bucket index → region → count
+	// minRetained is the ring's pruned frontier: every bucket below it has
+	// been deleted, so prune only touches the indexes the frontier newly
+	// crossed — amortized O(1) per ingest. MinInt64 = never pruned.
+	minRetained int64
+	watermark   time.Time // max triplet To seen
+
+	trips      int64
+	inferred   int64
+	regionless int64
+	outOfOrder int64
+	lateBucket int64
+}
+
+func newShard() *shard {
+	return &shard{
+		devices:     make(map[position.DeviceID]*deviceState),
+		occupancy:   make(map[dsm.RegionID]int),
+		visits:      make(map[dsm.RegionID]int64),
+		tags:        make(map[dsm.RegionID]string),
+		flows:       make(map[flowKey]int64),
+		dwell:       make(map[dsm.RegionID]*histogram),
+		ring:        make(map[int64]map[dsm.RegionID]int64),
+		minRetained: math.MinInt64,
+	}
+}
+
+type flowKey struct {
+	from, to dsm.RegionID
+}
+
+func (e *Engine) shardOf(dev position.DeviceID) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, string(dev))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// Ingest folds one sealed triplet into the views and publishes a delta to
+// matching subscribers. Triplets must arrive in per-device timeline order
+// (both producers guarantee it) with strictly increasing start instants —
+// the same (device, From) identity the warehouse dedupes on — so an
+// out-of-order or duplicate delivery is counted and skipped, keeping the
+// fold deterministic and idempotent against at-least-once producers.
+func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
+	sh := e.shardOf(dev)
+	sh.mu.Lock()
+	d := sh.devices[dev]
+	if d == nil {
+		d = &deviceState{}
+		sh.devices[dev] = d
+	} else if !t.From.After(d.lastFrom) {
+		sh.outOfOrder++
+		sh.mu.Unlock()
+		return
+	}
+	d.lastFrom = t.From
+	if t.To.After(d.lastTo) {
+		d.lastTo = t.To
+	}
+	sh.trips++
+	if t.Inferred {
+		sh.inferred++
+	}
+	if t.To.After(sh.watermark) {
+		sh.watermark = t.To
+	}
+
+	prev := d.region
+	region := t.RegionID
+	if region == "" {
+		sh.regionless++
+	} else if t.Region != "" {
+		sh.tags[region] = t.Region
+	}
+
+	// Occupancy: move the device from its previous region to the new one.
+	if prev != region {
+		if prev != "" {
+			if sh.occupancy[prev]--; sh.occupancy[prev] <= 0 {
+				delete(sh.occupancy, prev)
+			}
+		}
+		if region != "" {
+			sh.occupancy[region]++
+		}
+		d.region = region
+	}
+
+	if region != "" {
+		sh.visits[region]++
+		// Flows: one directed transition per consecutive pair of distinct
+		// region-carrying triplets.
+		if d.prevRegion != "" && d.prevRegion != region {
+			sh.flows[flowKey{d.prevRegion, region}]++
+		}
+		d.prevRegion = region
+
+		// Dwell histogram.
+		h := sh.dwell[region]
+		if h == nil {
+			h = new(histogram)
+			sh.dwell[region] = h
+		}
+		h.observe(t.Duration())
+
+		// Popularity ring, keyed by the triplet's start bucket. Buckets
+		// older than the retained span are pruned by watermark; a triplet
+		// landing below the pruning frontier is dropped (it would be pruned
+		// immediately anyway), keeping state deterministic across ingest
+		// orders.
+		idx := e.bucketIndex(t.From)
+		if min := e.minRetainedBucket(sh.watermark); idx < min {
+			sh.lateBucket++
+		} else {
+			b := sh.ring[idx]
+			if b == nil {
+				b = make(map[dsm.RegionID]int64)
+				sh.ring[idx] = b
+			}
+			b[region]++
+			sh.prune(min, e.cfg.Buckets)
+		}
+	}
+	occ := sh.occupancy[region]
+	// The prev fields describe a departure; a device staying put (or a
+	// duplicate region) reports none.
+	var prevID dsm.RegionID
+	prevOcc := 0
+	if prev != region {
+		prevID = prev
+		if prev != "" {
+			prevOcc = sh.occupancy[prev]
+		}
+	}
+	sh.mu.Unlock()
+
+	e.hub.publish(Delta{
+		Device:        dev,
+		Event:         t.Event,
+		Region:        t.Region,
+		RegionID:      region,
+		PrevRegionID:  prevID,
+		From:          t.From,
+		To:            t.To,
+		Inferred:      t.Inferred,
+		Occupancy:     occ,
+		PrevOccupancy: prevOcc,
+	})
+}
+
+// prune drops ring buckets below the retention frontier; callers hold the
+// shard lock. Buckets below the previous frontier are already gone, so
+// only the newly crossed indexes need deleting; a frontier jump wider than
+// the ring itself (first prune, or a watermark leap) falls back to one map
+// scan instead of walking the empty index range.
+func (sh *shard) prune(min int64, ringLen int) {
+	if min <= sh.minRetained {
+		return
+	}
+	if sh.minRetained == math.MinInt64 || min-sh.minRetained > int64(ringLen) {
+		for idx := range sh.ring {
+			if idx < min {
+				delete(sh.ring, idx)
+			}
+		}
+	} else {
+		for idx := sh.minRetained; idx < min; idx++ {
+			delete(sh.ring, idx)
+		}
+	}
+	sh.minRetained = min
+}
+
+// bucketIndex floors a time onto the ring's bucket grid.
+func (e *Engine) bucketIndex(t time.Time) int64 {
+	ws := int64(e.cfg.BucketWidth / time.Second)
+	sec := t.Unix()
+	idx := sec / ws
+	if sec%ws < 0 { // floor division for pre-epoch times
+		idx--
+	}
+	return idx
+}
+
+func (e *Engine) minRetainedBucket(watermark time.Time) int64 {
+	if watermark.IsZero() {
+		return -1 << 62
+	}
+	return e.bucketIndex(watermark) - int64(e.cfg.Buckets) + 1
+}
+
+// IngestTrip folds one warehoused trip — the Bootstrap unit.
+func (e *Engine) IngestTrip(dev position.DeviceID, t semantics.Triplet) {
+	e.Ingest(dev, t)
+}
+
+// IngestResult folds every triplet of a batch translation result,
+// implementing core.ResultSink so the batch Translator can feed the views
+// directly.
+func (e *Engine) IngestResult(r core.Result) error {
+	if r.Final == nil {
+		return nil
+	}
+	for _, t := range r.Final.Triplets {
+		e.Ingest(r.Device, t)
+	}
+	return nil
+}
+
+// Emitter returns an online.Emitter that folds every sealed emission into
+// the views and forwards it to next (which may be nil). Closing the
+// returned emitter closes next if it is closable; the engine itself has no
+// close state.
+func (e *Engine) Emitter(next online.Emitter) online.Emitter {
+	return &teeEmitter{e: e, next: next}
+}
+
+type teeEmitter struct {
+	e    *Engine
+	next online.Emitter
+}
+
+func (t *teeEmitter) Emit(em online.Emission) {
+	t.e.Ingest(em.Device, em.Triplet)
+	if t.next != nil {
+		t.next.Emit(em)
+	}
+}
+
+func (t *teeEmitter) Close() error {
+	if c, ok := t.next.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Stats are the engine's diagnostic counters, summed across shards.
+type Stats struct {
+	Trips    int64 `json:"trips"`
+	Inferred int64 `json:"inferred"`
+	Devices  int   `json:"devices"`
+	Regions  int   `json:"regions"`
+	Flows    int   `json:"flows"` // distinct directed region pairs
+	// Regionless counts triplets without a region annotation (they advance
+	// occupancy to "nowhere" but index no region view).
+	Regionless int64 `json:"regionless"`
+	// OutOfOrder counts triplets dropped for violating the per-device
+	// strictly-increasing start order — out-of-order or duplicate
+	// (device, From) deliveries, mirroring the warehouse's dedupe key.
+	OutOfOrder int64 `json:"outOfOrder"`
+	// LateBuckets counts triplets that arrived below the ring's pruning
+	// frontier (their bucket was already expired).
+	LateBuckets int64 `json:"lateBuckets"`
+	// Subscribers / Evicted describe the live-subscription hub.
+	Subscribers int   `json:"subscribers"`
+	Evicted     int64 `json:"evicted"`
+	// Watermark is the latest triplet end time folded into any view.
+	Watermark time.Time `json:"watermark,omitzero"`
+}
+
+// Stats sums the shard counters.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	regions := make(map[dsm.RegionID]bool)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		st.Trips += sh.trips
+		st.Inferred += sh.inferred
+		st.Devices += len(sh.devices)
+		st.Regionless += sh.regionless
+		st.OutOfOrder += sh.outOfOrder
+		st.LateBuckets += sh.lateBucket
+		st.Flows += len(sh.flows)
+		for r := range sh.visits {
+			regions[r] = true
+		}
+		if sh.watermark.After(st.Watermark) {
+			st.Watermark = sh.watermark
+		}
+		sh.mu.Unlock()
+	}
+	st.Regions = len(regions)
+	st.Subscribers, st.Evicted = e.hub.stats()
+	return st
+}
+
+// Watermark returns the latest triplet end time folded into any view.
+func (e *Engine) Watermark() time.Time {
+	var w time.Time
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		if sh.watermark.After(w) {
+			w = sh.watermark
+		}
+		sh.mu.Unlock()
+	}
+	return w
+}
+
+// RegionOccupancy is one row of the occupancy view.
+type RegionOccupancy struct {
+	RegionID  dsm.RegionID `json:"regionId"`
+	Region    string       `json:"region,omitempty"` // semantic tag
+	Occupancy int          `json:"occupancy"`        // devices currently in the region
+	Visits    int64        `json:"visits"`           // lifetime triplet count
+}
+
+// Occupancy merges the per-shard occupancy and visit counters, sorted by
+// occupancy (then visits, then ID) descending. activeWithin > 0 drops
+// devices whose last triplet ended more than that long before the
+// watermark — a staleness filter for venues where devices vanish without a
+// closing triplet; it walks device states instead of the folded counters,
+// so it is O(devices) rather than O(regions).
+func (e *Engine) Occupancy(activeWithin time.Duration) []RegionOccupancy {
+	occ := make(map[dsm.RegionID]int)
+	visits := make(map[dsm.RegionID]int64)
+	tags := make(map[dsm.RegionID]string)
+	var cutoff time.Time
+	if activeWithin > 0 {
+		if w := e.Watermark(); !w.IsZero() {
+			cutoff = w.Add(-activeWithin)
+		}
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for r, n := range sh.visits {
+			visits[r] += n
+		}
+		for r, tag := range sh.tags {
+			tags[r] = tag
+		}
+		if cutoff.IsZero() {
+			for r, n := range sh.occupancy {
+				occ[r] += n
+			}
+		} else {
+			for _, d := range sh.devices {
+				if d.region != "" && !d.lastTo.Before(cutoff) {
+					occ[d.region]++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]RegionOccupancy, 0, len(visits))
+	for r, v := range visits {
+		out = append(out, RegionOccupancy{RegionID: r, Region: tags[r], Occupancy: occ[r], Visits: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Occupancy != b.Occupancy {
+			return a.Occupancy > b.Occupancy
+		}
+		if a.Visits != b.Visits {
+			return a.Visits > b.Visits
+		}
+		return a.RegionID < b.RegionID
+	})
+	return out
+}
+
+// Flow is one directed region transition with its lifetime count.
+type Flow struct {
+	From    dsm.RegionID `json:"from"`
+	FromTag string       `json:"fromTag,omitempty"`
+	To      dsm.RegionID `json:"to"`
+	ToTag   string       `json:"toTag,omitempty"`
+	Count   int64        `json:"count"`
+}
+
+// Flows merges the transition matrices, optionally restricted to
+// transitions touching region (either side; "" = all), sorted by count
+// descending then (From, To). limit <= 0 returns everything.
+func (e *Engine) Flows(region dsm.RegionID, limit int) []Flow {
+	sum := make(map[flowKey]int64)
+	tags := make(map[dsm.RegionID]string)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for k, n := range sh.flows {
+			if region == "" || k.from == region || k.to == region {
+				sum[k] += n
+			}
+		}
+		for r, tag := range sh.tags {
+			tags[r] = tag
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]Flow, 0, len(sum))
+	for k, n := range sum {
+		out = append(out, Flow{From: k.from, FromTag: tags[k.from], To: k.to, ToTag: tags[k.to], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Dwell merges the region's dwell histograms and derives the summary
+// statistics. ok is false for a region with no folded triplets.
+func (e *Engine) Dwell(region dsm.RegionID) (DwellStats, bool) {
+	var merged histogram
+	tag := ""
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		if h := sh.dwell[region]; h != nil {
+			merged.merge(h)
+		}
+		if t := sh.tags[region]; t != "" {
+			tag = t
+		}
+		sh.mu.Unlock()
+	}
+	if merged.count == 0 {
+		return DwellStats{}, false
+	}
+	return merged.stats(region, tag), true
+}
+
+// RegionCount is one row of the windowed popularity view.
+type RegionCount struct {
+	RegionID dsm.RegionID `json:"regionId"`
+	Region   string       `json:"region,omitempty"`
+	Count    int64        `json:"count"` // triplets starting inside the window
+}
+
+// TopK sums the popularity ring over the last window of event time (ending
+// at the watermark) and returns the k busiest regions. window <= 0 or wider
+// than the ring covers the whole retained span; k <= 0 returns every region
+// seen in the window. The cost is O(window buckets × regions), independent
+// of the number of trips folded.
+func (e *Engine) TopK(k int, window time.Duration) []RegionCount {
+	w := e.Watermark()
+	if w.IsZero() {
+		return nil
+	}
+	span := int64(e.cfg.Buckets)
+	if window > 0 {
+		if b := int64((window + e.cfg.BucketWidth - 1) / e.cfg.BucketWidth); b < span {
+			span = b
+		}
+	}
+	min := e.bucketIndex(w) - span + 1
+	sum := make(map[dsm.RegionID]int64)
+	tags := make(map[dsm.RegionID]string)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for idx, b := range sh.ring {
+			if idx < min {
+				continue
+			}
+			for r, n := range b {
+				sum[r] += n
+			}
+		}
+		for r, tag := range sh.tags {
+			tags[r] = tag
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]RegionCount, 0, len(sum))
+	for r, n := range sum {
+		out = append(out, RegionCount{RegionID: r, Region: tags[r], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.RegionID < b.RegionID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Subscribe attaches a live subscriber to the delta feed; see Hub.Subscribe.
+func (e *Engine) Subscribe(regions []dsm.RegionID) *Subscription {
+	return e.hub.subscribe(regions)
+}
+
+// Snapshot is the canonical full-view dump: every view rendered in a
+// deterministic order, for the bootstrap-equivalence property test and for
+// debugging. Diagnostic counters that legitimately depend on arrival
+// interleaving (late buckets, subscriber stats) are excluded.
+type Snapshot struct {
+	Watermark time.Time         `json:"watermark,omitzero"`
+	Occupancy []RegionOccupancy `json:"occupancy"`
+	Flows     []Flow            `json:"flows"`
+	Dwell     []DwellStats      `json:"dwell"`
+	Ring      []RingBucket      `json:"ring"`
+	Trips     int64             `json:"trips"`
+	Inferred  int64             `json:"inferred"`
+}
+
+// RingBucket is one retained popularity bucket.
+type RingBucket struct {
+	Start   time.Time     `json:"start"` // bucket start (event time)
+	Regions []RegionCount `json:"regions"`
+}
+
+// Snapshot renders every view deterministically.
+func (e *Engine) Snapshot() Snapshot {
+	snap := Snapshot{
+		Watermark: e.Watermark(),
+		Occupancy: e.Occupancy(0),
+		Flows:     e.Flows("", 0),
+	}
+	st := e.Stats()
+	snap.Trips, snap.Inferred = st.Trips, st.Inferred
+
+	regions := make(map[dsm.RegionID]bool)
+	buckets := make(map[int64]map[dsm.RegionID]int64)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for r := range sh.dwell {
+			regions[r] = true
+		}
+		for idx, b := range sh.ring {
+			dst := buckets[idx]
+			if dst == nil {
+				dst = make(map[dsm.RegionID]int64)
+				buckets[idx] = dst
+			}
+			for r, n := range b {
+				dst[r] += n
+			}
+		}
+		sh.mu.Unlock()
+	}
+	ids := make([]dsm.RegionID, 0, len(regions))
+	for r := range regions {
+		ids = append(ids, r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, r := range ids {
+		if st, ok := e.Dwell(r); ok {
+			snap.Dwell = append(snap.Dwell, st)
+		}
+	}
+	idxs := make([]int64, 0, len(buckets))
+	for idx := range buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	ws := int64(e.cfg.BucketWidth / time.Second)
+	for _, idx := range idxs {
+		rb := RingBucket{Start: time.Unix(idx*ws, 0).UTC()}
+		rs := make([]dsm.RegionID, 0, len(buckets[idx]))
+		for r := range buckets[idx] {
+			rs = append(rs, r)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		for _, r := range rs {
+			rb.Regions = append(rb.Regions, RegionCount{RegionID: r, Count: buckets[idx][r]})
+		}
+		snap.Ring = append(snap.Ring, rb)
+	}
+	return snap
+}
+
+var _ core.ResultSink = (*Engine)(nil)

@@ -1,0 +1,36 @@
+package analytics
+
+import (
+	"fmt"
+
+	"trips/internal/tripstore"
+)
+
+// Bootstrap replays an existing warehouse into the views: every device's
+// timeline, paged in From order, folds through the same Ingest path the
+// live emitter uses — so a cold start over a persisted store reaches
+// exactly the state live ingestion would have built (the property
+// TestBootstrapMatchesLive locks down). Call it before attaching the
+// engine to a live feed; trips arriving during the replay are deduplicated
+// upstream by the warehouse, not here, so the caller sequences bootstrap
+// before tee-ingest (trips.System.AttachAnalytics does).
+func (e *Engine) Bootstrap(w *tripstore.Warehouse) error {
+	const pageSize = 1024
+	for _, dev := range w.Devices() {
+		cursor := ""
+		for {
+			page, err := w.Query(tripstore.QuerySpec{Device: dev, Limit: pageSize, Cursor: cursor})
+			if err != nil {
+				return fmt.Errorf("analytics: bootstrap %s: %w", dev, err)
+			}
+			for _, tr := range page.Trips {
+				e.Ingest(tr.Device, tr.Triplet)
+			}
+			if page.Next == "" {
+				break
+			}
+			cursor = page.Next
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package analytics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/position"
+)
+
+// TestConcurrentIngestQuerySubscribe hammers the engine from every side at
+// once — parallel producers (as the online engine's shards would), query
+// readers, and subscribers churning on and off — and then checks the folded
+// totals. Run under -race, this is the concurrency-safety proof for the
+// shard locks and the hub.
+func TestConcurrentIngestQuerySubscribe(t *testing.T) {
+	e := New(Config{Shards: 4, SubscriberBuffer: 8, BucketWidth: time.Second, Buckets: 3600})
+	const producers, perProducer = 8, 200
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			dev := position.DeviceID(fmt.Sprintf("dev-%d", p))
+			at := t0
+			for i := 0; i < perProducer; i++ {
+				r := fmt.Sprintf("r%d", (p+i)%5)
+				e.Ingest(dev, trip(r, at, 10*time.Second))
+				at = at.Add(15 * time.Second)
+			}
+		}(p)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.Occupancy(0)
+				e.Flows("", 10)
+				e.TopK(3, time.Minute)
+				e.Dwell("r1")
+				e.Stats()
+				e.Snapshot()
+			}
+		}()
+	}
+
+	// Subscriber churn: connect, read a little or nothing, disconnect. Some
+	// get evicted as slow consumers, some close themselves; both paths must
+	// be safe against concurrent publishes.
+	var churn sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		churn.Add(1)
+		go func(c int) {
+			defer churn.Done()
+			for i := 0; i < 20; i++ {
+				var sub *Subscription
+				if c%2 == 0 {
+					sub = e.Subscribe(nil)
+				} else {
+					sub = e.Subscribe([]dsm.RegionID{"r1", "r3"})
+				}
+				if c%3 == 0 {
+					// Slow consumer: never reads; eviction races Close.
+					time.Sleep(time.Millisecond)
+				} else {
+					for j := 0; j < 4; j++ {
+						select {
+						case _, ok := <-sub.C():
+							if !ok {
+								break
+							}
+						default:
+						}
+					}
+				}
+				sub.Close()
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	churn.Wait()
+
+	st := e.Stats()
+	if want := int64(producers * perProducer); st.Trips != want {
+		t.Errorf("Trips = %d, want %d", st.Trips, want)
+	}
+	if st.Devices != producers || st.OutOfOrder != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	var visits int64
+	for _, o := range e.Occupancy(0) {
+		visits += o.Visits
+	}
+	if visits != st.Trips {
+		t.Errorf("visit sum %d ≠ trips %d", visits, st.Trips)
+	}
+	if st.Subscribers != 0 {
+		t.Errorf("%d subscribers leaked after churn", st.Subscribers)
+	}
+}

@@ -80,8 +80,22 @@ type Report struct {
 // Modified returns the number of records altered in any way.
 func (r Report) Modified() int { return len(r.Changes) }
 
+// maxCleanPasses caps the fixed-point iteration of Clean. Adversarial
+// walks occasionally need a second or third pass (a repair anchored on a
+// record that a later repair moves); anything still oscillating after five
+// passes is returned as-is rather than looping forever.
+const maxCleanPasses = 5
+
 // Clean returns a repaired copy of the sequence and the report of what was
 // changed. The input is never mutated.
+//
+// A single snap → detect → repair sweep is not idempotent: interpolating an
+// invalid run against an anchor that a repair itself moved can leave a
+// residual speed violation that only the next sweep sees. Clean therefore
+// iterates the sweep until a pass moves no record (the fixed point — so
+// Clean(Clean(s)) ≡ Clean(s)), bounded by maxCleanPasses. The report
+// accumulates every pass's repairs, so a record repaired twice appears
+// twice.
 func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 	out := s.Clone()
 	rep := Report{Total: s.Len()}
@@ -92,7 +106,30 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 	if maxSpeed <= 0 {
 		maxSpeed = 3.0
 	}
+	for pass := 0; pass < maxCleanPasses; pass++ {
+		start := len(rep.Changes)
+		c.cleanPass(out, maxSpeed, &rep, pass == 0)
+		moved := false
+		for _, ch := range rep.Changes[start:] {
+			if !ch.After.P.Eq(ch.Before.P) || ch.After.Floor != ch.Before.Floor {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return out, rep
+}
 
+// cleanPass runs one in-place snap → detect → floor-fix → interpolate
+// sweep, appending repairs to the report. The first sweep also records
+// no-op interpolations (a suspect record re-derived to its own value) —
+// the online engine's invalid-run tracking needs those flagged — while
+// later sweeps record only records that actually moved, so converged
+// verification passes don't inflate the counters.
+func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Report, noops bool) {
 	// Step 0: snap every record into walkable space. Positioning noise
 	// routinely places points inside walls; all later geometry assumes
 	// walkable coordinates.
@@ -116,6 +153,7 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 	// Step 2: floor value correction. A record rejected only because of a
 	// wrong floor becomes valid once its floor is replaced by a plausible
 	// neighbor floor.
+	floorFixed := 0
 	for i := range out.Records {
 		if valid[i] {
 			continue
@@ -130,6 +168,7 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 				}
 			}
 			valid[i] = true
+			floorFixed++
 			rep.FloorFixed++
 			rep.Changes = append(rep.Changes, Change{i, RepairFloor, before, out.Records[i]})
 		}
@@ -138,7 +177,7 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 	// Re-detect after floor fixes: fixes were validated against their
 	// anchors, but two adjacent fixed records may still be mutually
 	// inconsistent; the fresh pass demotes such records to interpolation.
-	if rep.FloorFixed > 0 {
+	if floorFixed > 0 {
 		fresh := c.detectValid(out, maxSpeed)
 		for i := range valid {
 			valid[i] = fresh[i]
@@ -146,9 +185,7 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 	}
 
 	// Step 3: location interpolation for the remaining invalid runs.
-	rep.Interpolated = c.interpolateRuns(out, valid, &rep)
-
-	return out, rep
+	rep.Interpolated += c.interpolateRuns(out, valid, rep, noops)
 }
 
 // detectValid walks the sequence keeping a "last valid" anchor: record i is
@@ -251,7 +288,9 @@ func nextValid(valid []bool, i int) int {
 // proportionally to their timestamps. Runs without a following anchor are
 // held at the previous anchor's location (the object is assumed to have
 // lingered); runs without a preceding anchor mirror from the next anchor.
-func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Report) int {
+// With noops false, a repair that derives the record's existing value is
+// applied but not reported.
+func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Report, noops bool) int {
 	n := s.Len()
 	count := 0
 	for i := 0; i < n; {
@@ -273,6 +312,9 @@ func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Repor
 			before := s.Records[k]
 			s.Records[k] = c.interpolateOne(s, prev, next, k)
 			valid[k] = true
+			if !noops && s.Records[k].P.Eq(before.P) && s.Records[k].Floor == before.Floor {
+				continue
+			}
 			count++
 			rep.Changes = append(rep.Changes, Change{k, RepairInterpolate, before, s.Records[k]})
 		}

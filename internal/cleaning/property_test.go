@@ -1,7 +1,6 @@
 package cleaning
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -87,11 +86,21 @@ func TestCleanProperties(t *testing.T) {
 	}
 }
 
-// Property: cleaning an already-clean sequence is a fixed point.
+// Property: cleaning is a fixed point — Clean(Clean(s)) ≡ Clean(s), with
+// the second pass reporting no repairs. Clean iterates its repair sweep
+// until nothing moves (bounded by maxCleanPasses), so this holds even for
+// adversarial all-teleport walks where a single sweep's interpolation
+// re-anchors on records the same sweep moved. The seed set is a fixed
+// range plus 0xc132185, the walk that historically broke single-pass
+// cleaning (tracked by the retired TestCleanIdempotentKnownBadSeed).
 func TestCleanIdempotent(t *testing.T) {
 	m := testvenue.MustTwoFloor()
 	c := New(m)
-	f := func(seed uint32) bool {
+	seeds := []uint32{0xc132185}
+	for s := uint32(0); s < 200; s++ {
+		seeds = append(seeds, s)
+	}
+	for _, seed := range seeds {
 		st := seed
 		next := func(mod uint32) float64 {
 			st = st*1664525 + 1013904223
@@ -106,57 +115,24 @@ func TestCleanIdempotent(t *testing.T) {
 		}
 		once, _ := c.Clean(s)
 		twice, rep := c.Clean(once)
-		if rep.FloorFixed != 0 || rep.Interpolated != 0 {
-			return false
+		// The second clean may still *flag* records (a permanently
+		// suspect record — say, unreachable from its anchor — re-derives
+		// to its own value every pass, and the report keeps saying so
+		// because the online engine's invalid-run tracking needs it), but
+		// it must not move anything.
+		for _, ch := range rep.Changes {
+			if !ch.After.P.Eq(ch.Before.P) || ch.After.Floor != ch.Before.Floor {
+				t.Errorf("seed %#x: second clean moved record %d: %v → %v",
+					seed, ch.Index, ch.Before, ch.After)
+			}
 		}
 		for i := range twice.Records {
 			if !twice.Records[i].P.Eq(once.Records[i].P) ||
 				twice.Records[i].Floor != once.Records[i].Floor {
-				return false
+				t.Errorf("seed %#x: record %d moves on the second pass (%v → %v)",
+					seed, i, once.Records[i], twice.Records[i])
+				break
 			}
 		}
-		return true
 	}
-	// Fixed RNG: testing/quick otherwise draws fresh seeds per run, and
-	// rare adversarial walks expose a latent cleaner non-idempotency (see
-	// TestCleanIdempotentKnownBadSeed). Pinning keeps tier-1
-	// deterministic until the cleaner repairs to a fixed point.
-	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}
-	if err := quick.Check(f, cfg); err != nil {
-		t.Error(err)
-	}
-}
-
-// TestCleanIdempotentKnownBadSeed tracks the cleaner's fixed-point bug:
-// for this all-teleport walk, pass one snaps an outlier that pass two
-// re-interpolates against its now-cleaned neighbors, so Clean(Clean(s)) ≠
-// Clean(s). The test is self-retiring — once the cleaner repairs to a
-// fixed point it FAILS, telling the fixer to fold the seed into
-// TestCleanIdempotent and delete it.
-func TestCleanIdempotentKnownBadSeed(t *testing.T) {
-	m := testvenue.MustTwoFloor()
-	c := New(m)
-	st := uint32(0xc132185)
-	next := func(mod uint32) float64 {
-		st = st*1664525 + 1013904223
-		return float64(st % mod)
-	}
-	s := position.NewSequence("p")
-	at := t0
-	for i := 0; i < 20; i++ {
-		s.Append(position.Record{Device: "p",
-			P: geom.Pt(next(45)-2, next(24)-2), Floor: 1, At: at})
-		at = at.Add(5 * time.Second)
-	}
-	once, _ := c.Clean(s)
-	twice, _ := c.Clean(once)
-	for i := range twice.Records {
-		if !twice.Records[i].P.Eq(once.Records[i].P) {
-			t.Skipf("known bug still present: record %d moves on the second pass (%v → %v); "+
-				"cleaning does not reach a fixed point on adversarial walks",
-				i, once.Records[i].P, twice.Records[i].P)
-		}
-	}
-	t.Fatal("the known-bad walk now cleans idempotently — fold seed 0xc132185 into " +
-		"TestCleanIdempotent's RNG exploration and delete this tracking test")
 }

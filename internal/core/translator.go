@@ -240,6 +240,39 @@ type ResultSink interface {
 	IngestResult(Result) error
 }
 
+// MultiSink fans every result to each sink in order, stopping on the first
+// error. Nil sinks are skipped; with zero or one effective sink it degrades
+// to that sink (so TranslateTo's nil fast path still applies). It lets one
+// translation feed the warehouse and the analytics views in one pass.
+func MultiSink(sinks ...ResultSink) ResultSink {
+	eff := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			eff = append(eff, s)
+		}
+	}
+	switch len(eff) {
+	case 0:
+		return nil
+	case 1:
+		return eff[0]
+	default:
+		return eff
+	}
+}
+
+type multiSink []ResultSink
+
+// IngestResult implements ResultSink.
+func (m multiSink) IngestResult(r Result) error {
+	for _, s := range m {
+		if err := s.IngestResult(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TranslateTo runs the full two-phase pipeline and forwards every result
 // to the sink before returning them. A nil sink degrades to Translate.
 func (t *Translator) TranslateTo(ds *position.Dataset, sink ResultSink) ([]Result, error) {

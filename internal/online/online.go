@@ -125,7 +125,12 @@ type Config struct {
 
 	// MaxTail force-trims a session tail that exceeds this many records
 	// even without a hard break (sacrificing bit-exactness for bounded
-	// memory). 0 keeps tails unbounded.
+	// memory). A session that has sealed nothing — a stationary device
+	// dwelling in one region forever — is force-sealed at the horizon
+	// instead, so its long dwell emits as consecutive shorter stays;
+	// records inside the horizon always stay buffered, making the
+	// effective bound max(MaxTail, arrival rate × horizon). 0 keeps tails
+	// unbounded.
 	MaxTail int
 
 	// QueueLen is the per-shard inbox buffer. Default 1024.

@@ -366,6 +366,78 @@ func TestCloseSemantics(t *testing.T) {
 	eng.Flush() // must not panic or hang
 }
 
+// TestMaxTailBoundsStationaryDevice is the regression test for the
+// ROADMAP's unbounded-session bug: a device dwelling in one region forever
+// never seals a triplet (its single stay keeps extending to the
+// watermark), so before the horizon force-seal, MaxTail never fired and
+// the tail — and every flush's recompute — grew without bound. The test
+// streams hours of a stationary device and asserts the tail stays bounded,
+// the feed never turns late, and the emitted stays still cover the dwell.
+func TestMaxTailBoundsStationaryDevice(t *testing.T) {
+	pl := testPipeline(t)
+	g := lcg(29)
+	sink := newCollect()
+	cfg := manualConfig(sink, 1)
+	cfg.MaxTail = 200
+	eng, err := NewEngine(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3000 // 5s period → ~4.2 hours pinned to one spot
+	recs := stayRecords(&g, "couch", geom.Pt(5, 15), 1, t0, n, 5*time.Second)
+	maxTail := 0
+	for i, r := range recs {
+		if err := eng.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 49 {
+			eng.Flush()
+			if snap, ok := eng.Snapshot("couch"); ok && snap.TailRecords > maxTail {
+				maxTail = snap.TailRecords
+			}
+		}
+	}
+	eng.Flush()
+	st := eng.Stats()
+	eng.Close()
+
+	// The bound: MaxTail plus at most one flush batch of slack before the
+	// force-seal runs. Without the fix the tail reaches n.
+	if limit := cfg.MaxTail + cfg.FlushEvery; maxTail > limit {
+		t.Errorf("tail reached %d records (limit %d): MaxTail does not bound a stationary session", maxTail, limit)
+	}
+	if st.ForcedSeals == 0 {
+		t.Error("no forced seal on a session that never seals naturally")
+	}
+	// Force-sealing must not push the live feed behind the lateness
+	// frontier — that would silently disconnect the device.
+	if st.Late != 0 {
+		t.Errorf("Late = %d: force-seal made the ongoing feed late", st.Late)
+	}
+	if st.RecordsIn != int64(n) {
+		t.Errorf("RecordsIn = %d, want %d", st.RecordsIn, n)
+	}
+
+	// The dwell still emits, as consecutive stays covering the whole span
+	// (the documented MaxTail exactness trade).
+	got := sink.byDev["couch"]
+	if len(got) < 2 {
+		t.Fatalf("got %d triplets, want the dwell split into several stays", len(got))
+	}
+	span := recs[n-1].At.Sub(recs[0].At)
+	var covered time.Duration
+	for i, tr := range got {
+		covered += tr.To.Sub(tr.From)
+		if i > 0 && tr.From.Before(got[i-1].To) {
+			t.Errorf("triplet %d overlaps its predecessor: %v < %v", i, tr.From, got[i-1].To)
+		}
+	}
+	if covered < span*9/10 {
+		t.Errorf("emitted stays cover %v of the %v dwell", covered, span)
+	}
+}
+
 func TestShardingPreservesPerDeviceOrder(t *testing.T) {
 	pl := testPipeline(t)
 	devs := []position.DeviceID{"a", "b", "c", "d", "e", "f"}

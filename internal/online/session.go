@@ -1,6 +1,7 @@
 package online
 
 import (
+	"sort"
 	"time"
 
 	"trips/internal/cleaning"
@@ -170,9 +171,20 @@ func (ss *session) emit(e *Engine, t semantics.Triplet, watermark time.Time) {
 // maybeTrim drops fully sealed records from the tail. An exact trim
 // requires a hard break — a gap wider than the horizon whose successor was
 // a valid cleaning anchor — after which the suffix recomputes identically.
-// A tail beyond MaxTail is force-trimmed at the seal boundary regardless.
+// A tail beyond MaxTail is force-trimmed at the seal boundary regardless,
+// and when there is no seal boundary at all it is force-sealed at the
+// horizon.
 func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int]bool) {
 	if ss.emittedInTail == 0 {
+		// No triplet has sealed from this tail, so there is no trim
+		// boundary — the case of a stationary device dwelling in one
+		// region forever: its single growing stay never falls behind the
+		// watermark, so without intervention memory and per-flush
+		// recompute grow without bound exactly when MaxTail is supposed
+		// to bite. Force-seal at the horizon instead.
+		if e.cfg.MaxTail > 0 && ss.tail.Len() > e.cfg.MaxTail {
+			ss.forceSeal(e, sem)
+		}
 		return
 	}
 	// sem indexes are tail-relative (emit adjusts copies, not sem).
@@ -205,6 +217,51 @@ func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int
 	ss.tail = &position.Sequence{Device: ss.dev, Records: rest}
 	ss.base += b
 	ss.emittedInTail = 0
+}
+
+// forceSeal bounds a tail that cannot seal naturally: it emits the
+// triplets covering the records older than watermark−horizon — truncating
+// the straddling triplet at that boundary — then trims those records and
+// restarts the tail epoch. Cutting at the horizon rather than at the
+// covering triplet's end keeps the session alive: emit advances
+// sealedThrough, and ingest drops records at or before
+// sealedThrough+horizon, so sealing up to the watermark would turn the
+// device's entire ongoing feed late. The cost is exactness, as documented
+// on Config.MaxTail: one long dwell emits as consecutive shorter stays,
+// and repairs or merges that would have reached across the cut are lost.
+// Because everything within the horizon must stay buffered, the effective
+// tail bound is max(MaxTail, arrival rate × horizon) records.
+func (ss *session) forceSeal(e *Engine, sem *semantics.Sequence) {
+	watermark := ss.tail.End()
+	sealBefore := watermark.Add(-e.horizon)
+	// First record younger than the horizon; everything before it seals.
+	cut := sort.Search(ss.tail.Len(), func(i int) bool {
+		return ss.tail.Records[i].At.After(sealBefore)
+	})
+	if cut == 0 {
+		return // the whole overflow is within the horizon; nothing to free
+	}
+	for _, t := range sem.Triplets {
+		if t.FirstIdx >= cut {
+			break
+		}
+		if t.LastIdx >= cut {
+			// The straddling triplet: emit the prefix ending at the cut.
+			// The continuation re-annotates from the trimmed tail and
+			// emits later as its own triplet.
+			t.LastIdx = cut - 1
+			t.To = ss.tail.Records[cut-1].At
+			ss.emit(e, t, watermark)
+			break
+		}
+		ss.emit(e, t, watermark)
+	}
+	rest := make([]position.Record, ss.tail.Len()-cut)
+	copy(rest, ss.tail.Records[cut:])
+	ss.tail = &position.Sequence{Device: ss.dev, Records: rest}
+	ss.base += cut
+	ss.emittedInTail = 0
+	e.stats.ForcedSeals.Add(1)
 }
 
 // provisional recomputes the tail and returns the not-yet-sealed triplets,

@@ -12,6 +12,7 @@ type engineStats struct {
 	Flushes       atomic.Int64
 	Trims         atomic.Int64
 	ForcedTrims   atomic.Int64
+	ForcedSeals   atomic.Int64
 	IdleFinalized atomic.Int64
 	Sessions      atomic.Int64
 }
@@ -27,10 +28,12 @@ type Stats struct {
 	TripletsOut int64 `json:"tripletsOut"`
 	Inferred    int64 `json:"inferred"`
 	// Flushes, Trims, ForcedTrims, IdleFinalized count session
-	// maintenance events.
+	// maintenance events. ForcedSeals counts MaxTail horizon seals of
+	// sessions that never sealed naturally (stationary devices).
 	Flushes       int64 `json:"flushes"`
 	Trims         int64 `json:"trims"`
 	ForcedTrims   int64 `json:"forcedTrims"`
+	ForcedSeals   int64 `json:"forcedSeals"`
 	IdleFinalized int64 `json:"idleFinalized"`
 	// Sessions is the number of devices ever seen.
 	Sessions int64 `json:"sessions"`
@@ -52,6 +55,7 @@ func (e *Engine) Stats() Stats {
 		Flushes:               e.stats.Flushes.Load(),
 		Trims:                 e.stats.Trims.Load(),
 		ForcedTrims:           e.stats.ForcedTrims.Load(),
+		ForcedSeals:           e.stats.ForcedSeals.Load(),
 		IdleFinalized:         e.stats.IdleFinalized.Load(),
 		Sessions:              e.stats.Sessions.Load(),
 		KnowledgeObservations: e.know.observations(),

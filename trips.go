@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"image"
 
+	"trips/internal/analytics"
 	"trips/internal/annotation"
 	"trips/internal/config"
 	"trips/internal/core"
@@ -107,6 +108,29 @@ type (
 	TripPage = tripstore.Page
 	// WarehouseStats describes the warehouse contents.
 	WarehouseStats = tripstore.Stats
+
+	// AnalyticsEngine is the incremental mobility-analytics engine:
+	// sharded materialized views (occupancy, flows, dwell, windowed
+	// popularity) over the sealed-triplet stream, with live subscriptions.
+	AnalyticsEngine = analytics.Engine
+	// AnalyticsConfig parameterizes the analytics engine.
+	AnalyticsConfig = analytics.Config
+	// AnalyticsStats are the analytics engine's diagnostic counters.
+	AnalyticsStats = analytics.Stats
+	// AnalyticsSnapshot is the canonical full dump of every analytics view.
+	AnalyticsSnapshot = analytics.Snapshot
+	// AnalyticsDelta is one view update pushed to live subscribers.
+	AnalyticsDelta = analytics.Delta
+	// AnalyticsSubscription is one live view-delta subscriber.
+	AnalyticsSubscription = analytics.Subscription
+	// RegionOccupancy is one row of the live occupancy view.
+	RegionOccupancy = analytics.RegionOccupancy
+	// RegionFlow is one directed region→region transition count.
+	RegionFlow = analytics.Flow
+	// DwellStats is the dwell-time summary of one region.
+	DwellStats = analytics.DwellStats
+	// RegionCount is one row of the windowed popularity (top-k) view.
+	RegionCount = analytics.RegionCount
 
 	// Semantics is a device's mobility semantics sequence.
 	Semantics = semantics.Sequence
@@ -212,6 +236,11 @@ func OpenWarehouse(dir string) (*Warehouse, error) {
 	return tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}})
 }
 
+// NewAnalytics returns an incremental mobility-analytics engine with empty
+// views. Attach it to a System (AttachAnalytics) or feed it directly via
+// Ingest / Bootstrap / the Emitter tee.
+func NewAnalytics(cfg AnalyticsConfig) *AnalyticsEngine { return analytics.New(cfg) }
+
 // SaveDataset writes a dataset to a .csv or .jsonl file.
 func SaveDataset(path string, ds *Dataset) error { return position.SaveFile(path, ds) }
 
@@ -259,6 +288,7 @@ type System struct {
 	em     *annotation.EventModel
 	tr     *core.Translator
 	wh     *tripstore.Warehouse
+	an     *analytics.Engine
 
 	// Pipeline configuration applied at Train time.
 	CleanerConfig      config.CleanerConfig
@@ -292,6 +322,32 @@ func (s *System) AttachWarehouse(w *Warehouse) { s.wh = w }
 // Warehouse returns the attached trip warehouse, or nil.
 func (s *System) Warehouse() *Warehouse { return s.wh }
 
+// AttachAnalytics connects an analytics engine to the system: every batch
+// Translate result folds into its views, and online engines created
+// afterwards tee their sealed triplets through it. When a warehouse is
+// already attached, the engine first bootstraps from it — replaying the
+// persisted trips so a cold start over an existing store reaches the same
+// views live ingestion would have built. Pass nil to detach.
+//
+// The views are an incremental, order-dependent fold: a later Translate
+// that backfills a device's past (trips starting behind that device's
+// analytics frontier) still lands in the warehouse, but the fold drops it
+// (counted in AnalyticsStats.OutOfOrder). After a backfill, rebuild the
+// views by attaching a fresh engine, which re-bootstraps from the
+// warehouse in timeline order.
+func (s *System) AttachAnalytics(a *AnalyticsEngine) error {
+	if a != nil && s.wh != nil {
+		if err := a.Bootstrap(s.wh); err != nil {
+			return err
+		}
+	}
+	s.an = a
+	return nil
+}
+
+// Analytics returns the attached analytics engine, or nil.
+func (s *System) Analytics() *AnalyticsEngine { return s.an }
+
 // Train fits the identification model on the editor's training set using
 // the named classifier ("" = gaussian-nb, or logistic-regression /
 // decision-tree) and assembles the pipeline.
@@ -315,14 +371,21 @@ func (s *System) Train(classifier string) error {
 func (s *System) Trained() bool { return s.tr != nil }
 
 // Translate runs the full two-phase pipeline over the dataset. It requires
-// a successful Train. With a warehouse attached, every result ingests into
-// it before returning.
+// a successful Train. With a warehouse or analytics engine attached, every
+// result ingests into them before returning.
 func (s *System) Translate(ds *Dataset) ([]Result, error) {
 	if s.tr == nil {
 		return nil, fmt.Errorf("trips: Translate before Train")
 	}
+	var sinks []core.ResultSink
 	if s.wh != nil {
-		return s.tr.TranslateTo(ds, s.wh)
+		sinks = append(sinks, s.wh)
+	}
+	if s.an != nil {
+		sinks = append(sinks, s.an)
+	}
+	if len(sinks) > 0 {
+		return s.tr.TranslateTo(ds, core.MultiSink(sinks...))
 	}
 	return s.tr.Translate(ds), nil
 }
@@ -330,12 +393,16 @@ func (s *System) Translate(ds *Dataset) ([]Result, error) {
 // NewOnline starts a streaming translation engine over the trained
 // pipeline. It requires a successful Train. Feed the engine with Ingest
 // (or attach a Stream via System.Stream) and Close it to seal every open
-// session. With a warehouse attached, sealed triplets fan into it before
-// reaching cfg.Emitter (which may then be nil: the warehouse becomes the
-// sink).
+// session. With a warehouse or analytics engine attached, sealed triplets
+// fan through them before reaching cfg.Emitter (which may then be nil:
+// the attached subsystems become the sink). The warehouse tee runs first
+// so the analytics fold always sees a trip its durable twin has stored.
 func (s *System) NewOnline(cfg OnlineConfig) (*OnlineEngine, error) {
 	if s.tr == nil {
 		return nil, fmt.Errorf("trips: NewOnline before Train")
+	}
+	if s.an != nil {
+		cfg.Emitter = s.an.Emitter(cfg.Emitter)
 	}
 	if s.wh != nil {
 		cfg.Emitter = s.wh.Emitter(cfg.Emitter)

@@ -1,0 +1,108 @@
+package trips
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestGoldenAnalyticsBootstrapMatchesLive is the acceptance property of the
+// analytics subsystem: on the golden corpus, (1) live incremental ingestion
+// through the online engine's emitter tee, (2) a cold-start bootstrap
+// replaying the warehouse the same engine filled, and (3) the batch
+// Translate sink all produce identical analytics views.
+func TestGoldenAnalyticsBootstrapMatchesLive(t *testing.T) {
+	cfg := AnalyticsConfig{Shards: 4}
+
+	// (1) Live: the online engine tees sealed triplets into the views
+	// while the warehouse stores them.
+	sys, ds := goldenSystem(t)
+	w, err := NewWarehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachWarehouse(w)
+	live := NewAnalytics(cfg)
+	if err := sys.AttachAnalytics(live); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sys.NewOnline(OnlineConfig{
+		Shards: 4, FlushEvery: 64, FlushInterval: -1, IdleTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Record
+	for _, seq := range ds.Sequences() {
+		all = append(all, seq.Records...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
+	for _, r := range all {
+		if err := eng.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Close()
+
+	liveSnap := live.Snapshot()
+	if liveSnap.Trips == 0 || len(liveSnap.Occupancy) == 0 || len(liveSnap.Dwell) == 0 {
+		t.Fatalf("degenerate live views: %+v", liveSnap)
+	}
+
+	// (2) Bootstrap: a fresh engine cold-started over the warehouse the
+	// online run filled must reach the same state.
+	boot := NewAnalytics(cfg)
+	if err := boot.Bootstrap(w); err != nil {
+		t.Fatal(err)
+	}
+	if bootSnap := boot.Snapshot(); !reflect.DeepEqual(liveSnap, bootSnap) {
+		t.Errorf("bootstrap views diverge from live ingestion:\nlive: %+v\nboot: %+v", liveSnap, bootSnap)
+	}
+
+	// (3) Batch: the golden corpus translates bit-identically through the
+	// batch engine (TestGoldenBatch ⋂ TestGoldenOnline), so the batch
+	// result sink must fold to the same views too.
+	sys2, ds2 := goldenSystem(t)
+	batch := NewAnalytics(cfg)
+	if err := sys2.AttachAnalytics(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.Translate(ds2); err != nil {
+		t.Fatal(err)
+	}
+	if batchSnap := batch.Snapshot(); !reflect.DeepEqual(liveSnap, batchSnap) {
+		t.Errorf("batch-sink views diverge from live ingestion:\nlive:  %+v\nbatch: %+v", liveSnap, batchSnap)
+	}
+}
+
+// TestAttachAnalyticsBootstrapsFromWarehouse covers the cold-start path the
+// server uses: attach to a system whose warehouse already holds trips and
+// the views arrive pre-populated.
+func TestAttachAnalyticsBootstrapsFromWarehouse(t *testing.T) {
+	sys, ds := goldenSystem(t)
+	w, err := NewWarehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachWarehouse(w)
+	if _, err := sys.Translate(ds); err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAnalytics(AnalyticsConfig{})
+	if err := sys.AttachAnalytics(a); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Analytics() != a {
+		t.Fatal("Analytics() does not return the attached engine")
+	}
+	if st := a.Stats(); st.Trips == 0 || st.Trips != int64(w.Stats().Trips) {
+		t.Errorf("bootstrap folded %d trips, warehouse holds %d", st.Trips, w.Stats().Trips)
+	}
+	if err := sys.AttachAnalytics(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Analytics() != nil {
+		t.Error("detach failed")
+	}
+}
