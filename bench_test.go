@@ -588,6 +588,72 @@ func BenchmarkAnalyticsQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyticsBoot compares the two analytics boot paths at 10k and
+// 100k warehoused trips: a full warehouse Bootstrap (O(stored trips)) vs
+// loading a durable snapshot and replaying only the 512-trip tail past its
+// fold frontiers. The full numbers must grow ~10× between the sizes while
+// the snapshot numbers stay nearly flat — boot cost scales with the tail,
+// not the store.
+func BenchmarkAnalyticsBoot(b *testing.B) {
+	const tail = 512
+	cfg := AnalyticsConfig{Shards: 4}
+	for _, size := range []int{10_000, 100_000} {
+		trips := analyticsBenchTrips(size)
+		w, err := tripstore.New(tripstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range trips {
+			if err := w.Insert(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// The snapshot covers everything but the last `tail` trips, exactly
+		// the state a crash mid-stream leaves behind.
+		st, err := storage.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre := NewAnalytics(cfg)
+		for _, tr := range trips[:size-tail] {
+			pre.Ingest(tr.Device, tr.Triplet)
+		}
+		opts := AnalyticsStoreOptions{Store: st}
+		if err := pre.SaveSnapshot(opts); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("full-%dk", size/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := NewAnalytics(cfg)
+				if err := a.Bootstrap(w); err != nil {
+					b.Fatal(err)
+				}
+				if a.Stats().Trips != int64(size) {
+					b.Fatal("incomplete bootstrap")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("snapshot-%dk", size/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := NewAnalytics(cfg)
+				if ok, err := a.LoadSnapshot(opts); err != nil || !ok {
+					b.Fatalf("LoadSnapshot = %v, %v", ok, err)
+				}
+				if err := a.Bootstrap(w); err != nil {
+					b.Fatal(err)
+				}
+				if a.Stats().Trips != int64(size) {
+					b.Fatal("incomplete snapshot boot")
+				}
+			}
+			b.ReportMetric(tail, "tail-trips/op")
+		})
+	}
+}
+
 // BenchmarkAnalyticsSubscribe measures ingest throughput with live
 // subscribers attached and draining — the fan-out cost of the continuous
 // query path.

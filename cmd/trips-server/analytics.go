@@ -6,24 +6,153 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"trips/internal/analytics"
 	"trips/internal/dsm"
+	"trips/internal/online"
+	"trips/internal/position"
+	"trips/internal/semantics"
 )
 
 // The analytics endpoints serve the incremental materialized views — every
 // answer reads folded state, never a rescan of stored trips:
 //
-//	GET /analytics                      engine counters
-//	GET /analytics/occupancy            per-region live occupancy (?activeWithin=5m)
-//	GET /analytics/flows                region→region transitions (?region=, ?limit=)
-//	GET /analytics/dwell/{region}       dwell histogram + quantiles
-//	GET /analytics/topk                 windowed popularity (?k=, ?window=15m)
-//	GET /analytics/subscribe            SSE stream of view deltas (?regions=a,b)
+//	GET  /analytics                     engine counters (incl. snapshot age)
+//	POST /analytics/rebuild             swap in a freshly bootstrapped engine
+//	GET  /analytics/occupancy           per-region live occupancy (?activeWithin=5m)
+//	GET  /analytics/flows               region→region transitions (?region=, ?limit=)
+//	GET  /analytics/dwell/{region}      dwell histogram + quantiles
+//	GET  /analytics/topk                windowed popularity (?k=, ?window=15m)
+//	GET  /analytics/subscribe           SSE stream of view deltas (?regions=a,b)
 //
 // Region path/query parameters resolve like /regions/{id}/visits: region ID
 // first, semantic tag second.
+
+// analyticsTee routes the online engine's sealed emissions (and its idle
+// "device left" finalizations) into the *current* analytics engine. During
+// a rebuild it buffers instead: the fresh engine bootstraps from the
+// warehouse while emissions queue here, then the queue drains into it
+// before the swap becomes visible — no emission is lost across the swap,
+// and one delivered both ways (stored before the bootstrap read its
+// device, then drained) is deduped by the fold's per-device frontier.
+type analyticsTee struct {
+	s *server
+
+	// mu is an RWMutex so concurrent shard emissions fold in parallel (the
+	// engine is concurrency-safe); only the rebuild swap and the buffered
+	// appends take it exclusively. Folding under the read lock still gives
+	// the atomicity the rebuild needs: the swap's write lock waits out
+	// in-flight folds, so a delivery is either folded into the pre-rebuild
+	// engine (and was warehoused before the rebuild's bootstrap began) or
+	// buffered.
+	mu        sync.RWMutex
+	buffering bool
+	buf       []teedEvent
+}
+
+// teedEvent is one buffered delivery: an emission, or a departure signal
+// when leave is set.
+type teedEvent struct {
+	dev   position.DeviceID
+	tr    semantics.Triplet
+	at    time.Time
+	leave bool
+}
+
+// deliver folds the event into the current engine under the read lock, or
+// — during a rebuild — appends it to the buffer under the write lock.
+func (t *analyticsTee) deliver(ev teedEvent) {
+	t.mu.RLock()
+	if !t.buffering {
+		t.apply(t.s.analytics(), ev)
+		t.mu.RUnlock()
+		return
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.buffering { // may have drained between the two locks
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.apply(t.s.analytics(), ev)
+}
+
+func (t *analyticsTee) apply(a *analytics.Engine, ev teedEvent) {
+	if ev.leave {
+		a.DeviceLeft(ev.dev, ev.at)
+	} else {
+		a.Ingest(ev.dev, ev.tr)
+	}
+}
+
+// Emit implements online.Emitter.
+func (t *analyticsTee) Emit(em online.Emission) {
+	t.deliver(teedEvent{dev: em.Device, tr: em.Triplet})
+}
+
+// FinalizeSession implements online.SessionFinalizer: idle-evicted devices
+// decay occupancy by evidence.
+func (t *analyticsTee) FinalizeSession(dev position.DeviceID, at time.Time) {
+	t.deliver(teedEvent{dev: dev, at: at, leave: true})
+}
+
+// rebuildAnalytics swaps in a fresh engine re-bootstrapped from the
+// warehouse — the recovery for RebuildRecommended (backfill the
+// incremental fold dropped). Live subscribers move over with the hub
+// (Engine.Rebuild), and live emissions buffer in the tee across the
+// bootstrap so none fold into the discarded engine after the new one
+// stopped reading the warehouse.
+func (s *server) rebuildAnalytics() (*analytics.Engine, error) {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	old := s.analytics()
+
+	s.tee.mu.Lock()
+	s.tee.buffering = true
+	s.tee.mu.Unlock()
+
+	fresh, err := old.Rebuild(s.wh)
+
+	s.tee.mu.Lock()
+	defer s.tee.mu.Unlock()
+	target := old
+	if err == nil {
+		target = fresh
+		s.an.Store(fresh)
+	}
+	for _, ev := range s.tee.buf {
+		if ev.leave {
+			target.DeviceLeft(ev.dev, ev.at)
+		} else {
+			// IngestReplay: a buffered emission the bootstrap already
+			// replayed from the warehouse is overlap, not backfill.
+			target.IngestReplay(ev.dev, ev.tr)
+		}
+	}
+	s.tee.buf, s.tee.buffering = nil, false
+	if err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// handleRebuild serves POST /analytics/rebuild: responds with the fresh
+// engine's counters.
+func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	fresh, err := s.rebuildAnalytics()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, fresh.Stats())
+}
 
 // resolveRegion maps a path or query segment onto a model region ID.
 func (s *server) resolveRegion(raw string) (dsm.RegionID, bool) {
@@ -42,7 +171,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *server) handleAnalyticsStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.an.Stats())
+	writeJSON(w, s.analytics().Stats())
 }
 
 // occupancyView is the /analytics/occupancy response.
@@ -61,11 +190,11 @@ func (s *server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 		}
 		activeWithin = d
 	}
-	regions := s.an.Occupancy(activeWithin)
+	regions := s.analytics().Occupancy(activeWithin)
 	if regions == nil {
 		regions = []analytics.RegionOccupancy{}
 	}
-	writeJSON(w, occupancyView{Watermark: s.an.Watermark(), Regions: regions})
+	writeJSON(w, occupancyView{Watermark: s.analytics().Watermark(), Regions: regions})
 }
 
 func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
@@ -88,7 +217,7 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = min(n, 1000)
 	}
-	flows := s.an.Flows(region, limit)
+	flows := s.analytics().Flows(region, limit)
 	if flows == nil {
 		flows = []analytics.Flow{}
 	}
@@ -106,7 +235,7 @@ func (s *server) handleDwell(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	st, ok := s.an.Dwell(id)
+	st, ok := s.analytics().Dwell(id)
 	if !ok {
 		// A known region with no folded trips yet: an empty summary, not
 		// an error — the hot polling case for fresh deployments.
@@ -135,7 +264,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		window = d
 	}
-	top := s.an.TopK(k, window)
+	top := s.analytics().TopK(k, window)
 	if top == nil {
 		top = []analytics.RegionCount{}
 	}
@@ -170,7 +299,7 @@ func (s *server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	sub := s.an.Subscribe(regions)
+	sub := s.analytics().Subscribe(regions)
 	defer sub.Close()
 
 	h := w.Header()

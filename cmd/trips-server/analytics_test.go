@@ -18,6 +18,7 @@ import (
 
 	"trips/internal/analytics"
 	"trips/internal/dsm"
+	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
 )
@@ -262,11 +263,11 @@ func TestSSESubscribersUnderIngest(t *testing.T) {
 	cancel()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if st := s.an.Stats(); st.Subscribers == 0 {
+		if st := s.analytics().Stats(); st.Subscribers == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("subscribers leaked: %+v", s.an.Stats())
+			t.Fatalf("subscribers leaked: %+v", s.analytics().Stats())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -280,7 +281,7 @@ func TestSSESlowConsumerEvicted(t *testing.T) {
 	s := demoServer(t)
 	// Replace the (empty-view) analytics engine before serving; only this
 	// test's direct Ingest calls feed it.
-	s.an = analytics.New(analytics.Config{SubscriberBuffer: 2})
+	s.an.Store(analytics.New(analytics.Config{SubscriberBuffer: 2}))
 	srv := httptest.NewServer(s.mux())
 	defer srv.Close()
 
@@ -295,9 +296,10 @@ func TestSSESlowConsumerEvicted(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	an := s.analytics()
 	// Wait for the handler to attach before flooding.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.an.Stats().Subscribers == 0 {
+	for an.Stats().Subscribers == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("subscriber never attached")
 		}
@@ -308,8 +310,8 @@ func TestSSESlowConsumerEvicted(t *testing.T) {
 	// buffers fill and it blocks, the hub buffer fills behind it, and the
 	// hub evicts. Deltas flow directly into the views.
 	at := time.Date(2017, 1, 2, 10, 0, 0, 0, time.UTC)
-	for i := 0; i < 500_000 && s.an.Stats().Evicted == 0; i++ {
-		s.an.Ingest("flood", semantics.Triplet{
+	for i := 0; i < 500_000 && s.analytics().Stats().Evicted == 0; i++ {
+		an.Ingest("flood", semantics.Triplet{
 			Event:    semantics.EventStay,
 			Region:   "Flood",
 			RegionID: dsm.RegionID("flood-region"),
@@ -318,7 +320,7 @@ func TestSSESlowConsumerEvicted(t *testing.T) {
 		})
 		at = at.Add(time.Minute)
 	}
-	st := s.an.Stats()
+	st := s.analytics().Stats()
 	if st.Evicted == 0 {
 		t.Fatal("slow consumer never evicted")
 	}
@@ -330,5 +332,101 @@ func TestSSESlowConsumerEvicted(t *testing.T) {
 	got, _ := io.ReadAll(resp.Body)
 	if !bytes.Contains(got, []byte("event: evicted")) && len(got) == 0 {
 		t.Error("evicted stream delivered nothing")
+	}
+}
+
+// TestAnalyticsRebuildEndpoint swaps in a freshly bootstrapped engine via
+// POST /analytics/rebuild and proves live subscribers and the emitter tee
+// survive the swap.
+func TestAnalyticsRebuildEndpoint(t *testing.T) {
+	s := demoServer(t)
+	mux := s.mux()
+
+	// GET is refused.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/analytics/rebuild", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", rec.Code)
+	}
+
+	old := s.analytics()
+	before := old.Stats()
+	sub := old.Subscribe(nil)
+	defer sub.Close()
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analytics/rebuild", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var after analytics.Stats
+	if err := json.NewDecoder(rec.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if s.analytics() == old {
+		t.Fatal("rebuild did not swap the engine")
+	}
+	if after.Trips != before.Trips || after.Trips != int64(s.wh.Stats().Trips) {
+		t.Errorf("rebuilt engine folded %d trips, want %d (warehouse %d)",
+			after.Trips, before.Trips, s.wh.Stats().Trips)
+	}
+
+	// The tee now feeds the fresh engine, and the subscriber (attached to
+	// the old engine's hub) still receives its deltas.
+	tr := semantics.Triplet{
+		Event:    semantics.EventStay,
+		Region:   "Rebuilt",
+		RegionID: dsm.RegionID("rebuilt-region"),
+		From:     time.Date(2030, 1, 1, 10, 0, 0, 0, time.UTC),
+		To:       time.Date(2030, 1, 1, 10, 1, 0, 0, time.UTC),
+	}
+	s.tee.Emit(online.Emission{Device: "post-rebuild", Seq: 0, Triplet: tr})
+	select {
+	case d := <-sub.C():
+		if d.RegionID != "rebuilt-region" {
+			t.Errorf("post-rebuild delta = %+v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("subscriber lost across rebuild")
+	}
+	if got := s.analytics().Stats().Trips; got != after.Trips+1 {
+		t.Errorf("tee fold after rebuild: trips = %d, want %d", got, after.Trips+1)
+	}
+}
+
+// TestAnalyticsSnapshotAcrossRestart boots with -store and
+// -analytics-store, shuts down (final snapshot), and reboots: the views
+// come back identical, loaded from the snapshot rather than a full
+// re-bootstrap.
+func TestAnalyticsSnapshotAcrossRestart(t *testing.T) {
+	storeDir, anDir := t.TempDir(), t.TempDir()
+	s1, err := load(true, "", "", "", storeDir, anDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodic writer idles at this interval; stopSnap writes the final cut.
+	s1.stopSnap = analytics.AutoSnapshot(s1.analytics, s1.anOpts, time.Hour)
+	first := s1.analytics().Snapshot()
+	s1.engine.Close()
+	if err := s1.stopSnap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.wh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := load(true, "", "", "", storeDir, anDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.engine.Close(); s2.wh.Close() })
+	second := s2.analytics().Snapshot()
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if !bytes.Equal(a, b) {
+		t.Errorf("views diverge across restart:\nbefore: %s\nafter:  %s", a, b)
+	}
+	if st := s2.analytics().Stats(); st.LastSnapshot.IsZero() {
+		t.Error("restarted server does not report the loaded snapshot")
 	}
 }

@@ -16,13 +16,17 @@
 // occupancy, region flows, dwell times, windowed popularity — served under
 // GET /analytics/* with an SSE continuous-query endpoint at
 // GET /analytics/subscribe (see analytics.go). On startup the views
-// bootstrap from the warehouse, so a -store restart resumes them intact.
+// bootstrap from the warehouse; with -analytics-store they additionally
+// persist as periodic snapshots, so a restart loads the snapshot and
+// replays only the warehouse tail instead of re-folding the whole store,
+// and POST /analytics/rebuild swaps in freshly bootstrapped views after a
+// backfill.
 //
 // Usage:
 //
 //	trips-server -demo                   # self-generated mall dataset
 //	trips-server -dsm mall.json -data raw.csv -events events.json
-//	trips-server -addr :8765 -demo -store warehouse/
+//	trips-server -addr :8765 -demo -store warehouse/ -analytics-store views/
 package main
 
 import (
@@ -38,6 +42,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -63,8 +69,23 @@ type server struct {
 
 	engine *online.Engine
 	wh     *tripstore.Warehouse
-	an     *analytics.Engine
+
+	// an is swapped atomically by POST /analytics/rebuild; handlers read
+	// it through analytics(), live emissions route through tee so they
+	// buffer across a swap instead of folding into a discarded engine.
+	an        atomic.Pointer[analytics.Engine]
+	tee       *analyticsTee
+	rebuildMu sync.Mutex
+
+	// anOpts locates the durable view snapshot (-analytics-store);
+	// stopSnap halts the periodic writer and saves the final snapshot.
+	// Both are zero when snapshots are disabled.
+	anOpts   analytics.StoreOptions
+	stopSnap func() error
 }
+
+// analytics returns the current analytics engine.
+func (s *server) analytics() *analytics.Engine { return s.an.Load() }
 
 func main() {
 	log.SetFlags(0)
@@ -76,12 +97,19 @@ func main() {
 		dataPath   = flag.String("data", "", "positioning dataset")
 		eventsPath = flag.String("events", "", "Event Editor state")
 		storeDir   = flag.String("store", "", "warehouse directory (empty = in-memory only)")
+		anDir      = flag.String("analytics-store", "", "analytics view-snapshot directory (empty = rebuild views at every boot)")
+		anInterval = flag.Duration("analytics-snapshot", time.Minute, "interval between periodic analytics snapshots (with -analytics-store)")
 	)
 	flag.Parse()
 
-	s, err := load(*demo, *dsmPath, *dataPath, *eventsPath, *storeDir)
+	s, err := load(*demo, *dsmPath, *dataPath, *eventsPath, *storeDir, *anDir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if s.anOpts.Store != nil {
+		// The indirection over s.analytics keeps the writer on the live
+		// engine across /analytics/rebuild swaps.
+		s.stopSnap = analytics.AutoSnapshot(s.analytics, s.anOpts, *anInterval)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -109,6 +137,14 @@ func main() {
 		log.Print(err)
 	}
 	s.engine.Close() // seal and emit every open session (flushes the warehouse log)
+	if s.stopSnap != nil {
+		// Final analytics snapshot, after the engine close so the views it
+		// persists cover the shutdown-sealed triplets, before the warehouse
+		// close so the Sync flush still works.
+		if err := s.stopSnap(); err != nil {
+			log.Print(err)
+		}
+	}
 	if err := s.wh.Close(); err != nil {
 		log.Print(err)
 	}
@@ -127,6 +163,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/regions/", s.handleRegionVisits)
 	mux.HandleFunc("/warehouse", s.handleWarehouseStats)
 	mux.HandleFunc("/analytics", s.handleAnalyticsStats)
+	mux.HandleFunc("/analytics/rebuild", s.handleRebuild)
 	mux.HandleFunc("/analytics/occupancy", s.handleOccupancy)
 	mux.HandleFunc("/analytics/flows", s.handleFlows)
 	mux.HandleFunc("/analytics/dwell/", s.handleDwell)
@@ -135,7 +172,7 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
-func load(demo bool, dsmPath, dataPath, eventsPath, storeDir string) (*server, error) {
+func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir string) (*server, error) {
 	var (
 		model  *dsm.Model
 		ds     *position.Dataset
@@ -218,19 +255,43 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir string) (*server, e
 	// The analytics engine bootstraps from the warehouse — which at this
 	// point holds the startup batch translation plus anything a previous
 	// -store run persisted — so its views match what live ingestion of the
-	// same trips would have built.
-	s.an = analytics.New(analytics.Config{})
-	if err := s.an.Bootstrap(wh); err != nil {
+	// same trips would have built. With -analytics-store, the persisted
+	// view snapshot loads first and the bootstrap replays only the
+	// warehouse tail past its fold frontiers: boot cost O(tail), not
+	// O(stored trips).
+	an := analytics.New(analytics.Config{})
+	if analyticsDir != "" {
+		if storeDir == "" {
+			log.Print("warning: -analytics-store without -store: snapshots may cover trips a restart cannot replay")
+		}
+		anStore, err := storage.Open(analyticsDir)
+		if err != nil {
+			return nil, err
+		}
+		s.anOpts = analytics.StoreOptions{Store: anStore, Sync: wh.Flush}
+		if ok, err := an.LoadSnapshot(analytics.StoreOptions{Store: anStore}); err != nil {
+			if !errors.Is(err, analytics.ErrIncompatibleSnapshot) {
+				return nil, err
+			}
+			log.Printf("ignoring analytics snapshot: %v", err)
+		} else if ok {
+			log.Print("analytics views loaded from snapshot; replaying warehouse tail")
+		}
+	}
+	if err := an.Bootstrap(wh); err != nil {
 		return nil, err
 	}
+	s.an.Store(an)
+	s.tee = &analyticsTee{s: s}
 
 	// The online engine serves the live-ingest endpoints with the same
 	// trained pipeline; the warehouse is its sink and the single sealed
 	// store — /live reads sealed triplets back from it, so the server
 	// keeps no second per-device copy that idle-session eviction can't
 	// reclaim (MAC-randomized device churn would grow it forever). Sealed
-	// emissions tee through the analytics views on their way in.
-	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(s.an.Emitter(nil))})
+	// emissions tee through the analytics views on their way in; the tee
+	// is an indirection over s.an so a rebuild can swap engines under it.
+	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(s.tee)})
 	if err != nil {
 		return nil, err
 	}

@@ -49,6 +49,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trips/internal/core"
@@ -108,6 +109,19 @@ type Engine struct {
 	cfg    Config
 	shards []*shard
 	hub    *Hub
+
+	// maxToBucket is the bucket index of the engine-wide watermark (the
+	// max triplet To folded into any shard), maintained as a CAS-max so
+	// every shard prunes its popularity ring against the same global
+	// retention frontier — a lagging shard must not retain more history
+	// than the window covers. math.MinInt64 = nothing folded yet.
+	maxToBucket atomic.Int64
+
+	// lastSnapshot is the UnixMilli of the newest durable snapshot written
+	// (SaveSnapshot) or loaded (LoadSnapshot); 0 = none. snapshotErrors
+	// counts failed periodic saves (see StartAutoSnapshot).
+	lastSnapshot   atomic.Int64
+	snapshotErrors atomic.Int64
 }
 
 // New returns an engine with empty views.
@@ -115,6 +129,7 @@ func New(cfg Config) *Engine {
 	cfg.applyDefaults()
 	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	e.hub = newHub(cfg.SubscriberBuffer)
+	e.maxToBucket.Store(math.MinInt64)
 	for i := range e.shards {
 		e.shards[i] = newShard()
 	}
@@ -159,6 +174,7 @@ type shard struct {
 	regionless int64
 	outOfOrder int64
 	lateBucket int64
+	leaves     int64
 }
 
 func newShard() *shard {
@@ -191,6 +207,20 @@ func (e *Engine) shardOf(dev position.DeviceID) *shard {
 // out-of-order or duplicate delivery is counted and skipped, keeping the
 // fold deterministic and idempotent against at-least-once producers.
 func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
+	e.fold(dev, t, false)
+}
+
+// IngestReplay folds a triplet that may already be in the views: a trip at
+// or behind the device's fold frontier is skipped silently instead of
+// counting OutOfOrder. The replay paths use it — Bootstrap's tail replay
+// over a warehouse the views partially cover, and a rebuild draining
+// emissions that overlapped the re-bootstrap — where a re-delivery is
+// expected, not a backfill that warrants RebuildRecommended.
+func (e *Engine) IngestReplay(dev position.DeviceID, t semantics.Triplet) {
+	e.fold(dev, t, true)
+}
+
+func (e *Engine) fold(dev position.DeviceID, t semantics.Triplet, replay bool) {
 	sh := e.shardOf(dev)
 	sh.mu.Lock()
 	d := sh.devices[dev]
@@ -198,7 +228,9 @@ func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
 		d = &deviceState{}
 		sh.devices[dev] = d
 	} else if !t.From.After(d.lastFrom) {
-		sh.outOfOrder++
+		if !replay {
+			sh.outOfOrder++
+		}
 		sh.mu.Unlock()
 		return
 	}
@@ -212,6 +244,7 @@ func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
 	}
 	if t.To.After(sh.watermark) {
 		sh.watermark = t.To
+		e.advanceMaxBucket(e.bucketIndex(t.To))
 	}
 
 	prev := d.region
@@ -253,12 +286,15 @@ func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
 		h.observe(t.Duration())
 
 		// Popularity ring, keyed by the triplet's start bucket. Buckets
-		// older than the retained span are pruned by watermark; a triplet
-		// landing below the pruning frontier is dropped (it would be pruned
-		// immediately anyway), keeping state deterministic across ingest
-		// orders.
+		// older than the retained span are pruned by the engine-wide
+		// watermark (not the shard's own — a shard whose devices lag must
+		// not retain more history than the global window); a triplet
+		// landing below the pruning frontier is dropped (it would be
+		// pruned immediately anyway), keeping state deterministic across
+		// ingest orders.
 		idx := e.bucketIndex(t.From)
-		if min := e.minRetainedBucket(sh.watermark); idx < min {
+		min := e.globalMinRetained()
+		if idx < min {
 			sh.lateBucket++
 		} else {
 			b := sh.ring[idx]
@@ -267,8 +303,11 @@ func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
 				sh.ring[idx] = b
 			}
 			b[region]++
-			sh.prune(min, e.cfg.Buckets)
 		}
+		// Prune on every region-carrying fold, including late-dropped ones:
+		// a lagging shard's stale buckets must go as soon as it learns the
+		// global frontier moved, not only when it folds something new.
+		sh.prune(min, e.cfg.Buckets)
 	}
 	occ := sh.occupancy[region]
 	// The prev fields describe a departure; a device staying put (or a
@@ -331,11 +370,27 @@ func (e *Engine) bucketIndex(t time.Time) int64 {
 	return idx
 }
 
-func (e *Engine) minRetainedBucket(watermark time.Time) int64 {
-	if watermark.IsZero() {
+// advanceMaxBucket CAS-maxes the engine-wide watermark bucket; callers pass
+// the bucket index of a folded triplet's To.
+func (e *Engine) advanceMaxBucket(idx int64) {
+	for {
+		cur := e.maxToBucket.Load()
+		if idx <= cur || e.maxToBucket.CompareAndSwap(cur, idx) {
+			return
+		}
+	}
+}
+
+// globalMinRetained is the engine-wide ring retention frontier: the lowest
+// bucket index the window still covers, derived from the watermark bucket
+// shared by every shard. Before anything folds it sits far below any real
+// bucket so nothing is dropped or pruned.
+func (e *Engine) globalMinRetained() int64 {
+	max := e.maxToBucket.Load()
+	if max == math.MinInt64 {
 		return -1 << 62
 	}
-	return e.bucketIndex(watermark) - int64(e.cfg.Buckets) + 1
+	return max - int64(e.cfg.Buckets) + 1
 }
 
 // IngestTrip folds one warehoused trip — the Bootstrap unit.
@@ -356,10 +411,56 @@ func (e *Engine) IngestResult(r core.Result) error {
 	return nil
 }
 
+// EventDeviceLeft labels the Delta published by DeviceLeft: a departure
+// signal, not a sealed triplet.
+const EventDeviceLeft = semantics.Event("device-left")
+
+// DeviceLeft folds an explicit departure signal into the views: the online
+// engine's idle finalizer knows when a device's session died, and this
+// drops the device out of its current region so occupancy decays by
+// evidence instead of only the query-time activeWithin filter. The signal
+// is idempotent — a device already in no region is a no-op — and does not
+// advance the device's fold frontier, so sealed-trip folds (including a
+// later warehouse replay) behave identically with or without it: the next
+// triplet simply moves the device from "nowhere" into its region. at is
+// the departure's event time (the To of the device's last sealed triplet).
+//
+// Departures are ephemeral: they are not warehoused, so a fresh Bootstrap
+// cannot reconstruct them. A durable snapshot taken after the signal does
+// preserve it.
+func (e *Engine) DeviceLeft(dev position.DeviceID, at time.Time) {
+	sh := e.shardOf(dev)
+	sh.mu.Lock()
+	d := sh.devices[dev]
+	if d == nil || d.region == "" {
+		sh.mu.Unlock()
+		return
+	}
+	prev := d.region
+	d.region = ""
+	if sh.occupancy[prev]--; sh.occupancy[prev] <= 0 {
+		delete(sh.occupancy, prev)
+	}
+	prevOcc := sh.occupancy[prev]
+	sh.leaves++
+	sh.mu.Unlock()
+
+	e.hub.publish(Delta{
+		Device:        dev,
+		Event:         EventDeviceLeft,
+		PrevRegionID:  prev,
+		From:          at,
+		To:            at,
+		PrevOccupancy: prevOcc,
+	})
+}
+
 // Emitter returns an online.Emitter that folds every sealed emission into
-// the views and forwards it to next (which may be nil). Closing the
-// returned emitter closes next if it is closable; the engine itself has no
-// close state.
+// the views and forwards it to next (which may be nil). It also implements
+// online.SessionFinalizer, translating the engine's idle finalization into
+// a DeviceLeft signal (and forwarding it when next is a finalizer too).
+// Closing the returned emitter closes next if it is closable; the engine
+// itself has no close state.
 func (e *Engine) Emitter(next online.Emitter) online.Emitter {
 	return &teeEmitter{e: e, next: next}
 }
@@ -373,6 +474,13 @@ func (t *teeEmitter) Emit(em online.Emission) {
 	t.e.Ingest(em.Device, em.Triplet)
 	if t.next != nil {
 		t.next.Emit(em)
+	}
+}
+
+func (t *teeEmitter) FinalizeSession(dev position.DeviceID, at time.Time) {
+	t.e.DeviceLeft(dev, at)
+	if f, ok := t.next.(online.SessionFinalizer); ok {
+		f.FinalizeSession(dev, at)
 	}
 }
 
@@ -397,20 +505,36 @@ type Stats struct {
 	// strictly-increasing start order — out-of-order or duplicate
 	// (device, From) deliveries, mirroring the warehouse's dedupe key.
 	OutOfOrder int64 `json:"outOfOrder"`
+	// RebuildRecommended is set once any fold was dropped OutOfOrder: the
+	// views are missing warehoused trips (a backfill landed behind a
+	// device's fold frontier) and only a re-bootstrap recovers them —
+	// Engine.Rebuild, or POST /analytics/rebuild on trips-server.
+	RebuildRecommended bool `json:"rebuildRecommended,omitempty"`
 	// LateBuckets counts triplets that arrived below the ring's pruning
 	// frontier (their bucket was already expired).
 	LateBuckets int64 `json:"lateBuckets"`
+	// DeviceLeaves counts explicit departure signals folded (DeviceLeft —
+	// the online engine's idle finalizer decaying occupancy by evidence).
+	DeviceLeaves int64 `json:"deviceLeaves"`
 	// Subscribers / Evicted describe the live-subscription hub.
 	Subscribers int   `json:"subscribers"`
 	Evicted     int64 `json:"evicted"`
 	// Watermark is the latest triplet end time folded into any view.
 	Watermark time.Time `json:"watermark,omitzero"`
+	// LastSnapshot is when the newest durable view snapshot was written or
+	// loaded; SnapshotAgeSeconds is its age at the time of this Stats call
+	// (0 when no snapshot exists). SnapshotErrors counts failed periodic
+	// saves.
+	LastSnapshot       time.Time `json:"lastSnapshot,omitzero"`
+	SnapshotAgeSeconds float64   `json:"snapshotAgeSeconds,omitempty"`
+	SnapshotErrors     int64     `json:"snapshotErrors,omitempty"`
 }
 
 // Stats sums the shard counters.
 func (e *Engine) Stats() Stats {
 	var st Stats
 	regions := make(map[dsm.RegionID]bool)
+	flows := make(map[flowKey]bool)
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		st.Trips += sh.trips
@@ -419,7 +543,12 @@ func (e *Engine) Stats() Stats {
 		st.Regionless += sh.regionless
 		st.OutOfOrder += sh.outOfOrder
 		st.LateBuckets += sh.lateBucket
-		st.Flows += len(sh.flows)
+		st.DeviceLeaves += sh.leaves
+		// Distinct pairs merge across shards: the same transition folded on
+		// two shards is one flow, exactly as Flows() reports it.
+		for k := range sh.flows {
+			flows[k] = true
+		}
 		for r := range sh.visits {
 			regions[r] = true
 		}
@@ -429,7 +558,14 @@ func (e *Engine) Stats() Stats {
 		sh.mu.Unlock()
 	}
 	st.Regions = len(regions)
+	st.Flows = len(flows)
 	st.Subscribers, st.Evicted = e.hub.stats()
+	st.RebuildRecommended = st.OutOfOrder > 0
+	if ms := e.lastSnapshot.Load(); ms != 0 {
+		st.LastSnapshot = time.UnixMilli(ms).UTC()
+		st.SnapshotAgeSeconds = time.Since(st.LastSnapshot).Seconds()
+	}
+	st.SnapshotErrors = e.snapshotErrors.Load()
 	return st
 }
 
@@ -671,12 +807,20 @@ func (e *Engine) Snapshot() Snapshot {
 
 	regions := make(map[dsm.RegionID]bool)
 	buckets := make(map[int64]map[dsm.RegionID]int64)
+	// Render only the buckets the window still covers: a shard prunes
+	// lazily (on its own next ingest), so buckets below the global
+	// retention frontier may linger in memory, and whether they do depends
+	// on ingest interleaving — excluding them keeps the dump deterministic.
+	minRetained := e.globalMinRetained()
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		for r := range sh.dwell {
 			regions[r] = true
 		}
 		for idx, b := range sh.ring {
+			if idx < minRetained {
+				continue
+			}
 			dst := buckets[idx]
 			if dst == nil {
 				dst = make(map[dsm.RegionID]int64)

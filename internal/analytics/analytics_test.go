@@ -438,3 +438,187 @@ func TestIngestResultAndEmitterTee(t *testing.T) {
 	// A tee with no downstream is fine.
 	e.Emitter(nil).Emit(online.Emission{Device: "dev", Triplet: trip("d", t0.Add(6*time.Minute), time.Minute)})
 }
+
+// devicesOnDistinctShards returns two device IDs that hash to different
+// shards of e, so a test can make one shard lag the other deliberately.
+func devicesOnDistinctShards(t *testing.T, e *Engine) (a, b position.DeviceID) {
+	t.Helper()
+	a = position.DeviceID("dev-a")
+	for i := 0; i < 1000; i++ {
+		b = position.DeviceID(fmt.Sprintf("dev-b%d", i))
+		if e.shardOf(b) != e.shardOf(a) {
+			return a, b
+		}
+	}
+	t.Fatal("no device pair on distinct shards")
+	return
+}
+
+// TestRingPrunesAgainstGlobalWatermark is the regression test for the
+// per-shard pruning bug: a shard whose devices lag must prune (and drop)
+// popularity buckets relative to the engine-wide watermark, not its own,
+// or it retains more history than the configured window.
+func TestRingPrunesAgainstGlobalWatermark(t *testing.T) {
+	e := New(Config{Shards: 2, BucketWidth: time.Minute, Buckets: 10})
+	ahead, lagging := devicesOnDistinctShards(t, e)
+
+	// The lagging shard folds one old bucket, then the other shard races
+	// three hours ahead — far beyond the 10-minute ring span.
+	e.Ingest(lagging, trip("old", t0, 30*time.Second))
+	e.Ingest(ahead, trip("new", t0.Add(3*time.Hour), 30*time.Second))
+
+	// The lagging shard's next fold is still near t0. Its own watermark
+	// would retain both of its buckets; the global watermark says both are
+	// ancient history: the retained one must be pruned and the new arrival
+	// dropped as a late bucket.
+	e.Ingest(lagging, trip("old", t0.Add(2*time.Minute), 30*time.Second))
+
+	if st := e.Stats(); st.LateBuckets != 1 {
+		t.Errorf("LateBuckets = %d, want 1 (arrival below the global frontier)", st.LateBuckets)
+	}
+	min := e.globalMinRetained()
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		for idx := range sh.ring {
+			if idx < min {
+				t.Errorf("shard %d retains bucket %d below the global frontier %d", i, idx, min)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	snap := e.Snapshot()
+	if len(snap.Ring) != 1 || snap.Ring[0].Regions[0].RegionID != "new" {
+		t.Errorf("dump ring = %+v, want only the ahead bucket", snap.Ring)
+	}
+	// TopK agrees: only the ahead region is inside any window.
+	if all := e.TopK(0, 0); len(all) != 1 || all[0].RegionID != "new" {
+		t.Errorf("TopK = %+v", all)
+	}
+}
+
+// TestDeviceLeftDecaysOccupancy covers the explicit departure signal: it
+// vacates the device's region by evidence, publishes a delta, is
+// idempotent, and leaves the sealed-trip fold untouched (the frontier
+// does not move, so duplicates still dedupe and the next trip folds
+// normally).
+func TestDeviceLeftDecaysOccupancy(t *testing.T) {
+	e := New(Config{Shards: 2})
+	sub := e.Subscribe(nil)
+	defer sub.Close()
+
+	e.Ingest("a", trip("nike", t0, time.Minute))
+	e.Ingest("b", trip("hall", t0.Add(time.Minute), time.Minute))
+	<-sub.C()
+	<-sub.C()
+
+	at := t0.Add(10 * time.Minute)
+	e.DeviceLeft("a", at)
+	byID := map[dsm.RegionID]RegionOccupancy{}
+	for _, o := range e.Occupancy(0) {
+		byID[o.RegionID] = o
+	}
+	if byID["nike"].Occupancy != 0 || byID["nike"].Visits != 1 || byID["hall"].Occupancy != 1 {
+		t.Fatalf("occupancy after leave = %+v, want nike vacated, visits intact", byID)
+	}
+	d := <-sub.C()
+	if d.Event != EventDeviceLeft || d.Device != "a" || d.PrevRegionID != "nike" ||
+		d.PrevOccupancy != 0 || !d.From.Equal(at) {
+		t.Errorf("leave delta = %+v", d)
+	}
+	if st := e.Stats(); st.DeviceLeaves != 1 {
+		t.Errorf("DeviceLeaves = %d, want 1", st.DeviceLeaves)
+	}
+
+	// Idempotent: the device is already nowhere; so is a ghost device.
+	e.DeviceLeft("a", at.Add(time.Minute))
+	e.DeviceLeft("ghost", at)
+	if st := e.Stats(); st.DeviceLeaves != 1 {
+		t.Errorf("repeated leave counted: DeviceLeaves = %d", st.DeviceLeaves)
+	}
+
+	// The sealed-trip fold stays idempotent around the signal: the same
+	// trip re-delivered is still a duplicate, and a genuinely new trip
+	// moves the device back in.
+	e.Ingest("a", trip("nike", t0, time.Minute))
+	if st := e.Stats(); st.OutOfOrder != 1 {
+		t.Errorf("duplicate after leave not dropped: %+v", st)
+	}
+	e.Ingest("a", trip("hall", t0.Add(20*time.Minute), time.Minute))
+	byID = map[dsm.RegionID]RegionOccupancy{}
+	for _, o := range e.Occupancy(0) {
+		byID[o.RegionID] = o
+	}
+	if byID["hall"].Occupancy != 2 || byID["nike"].Occupancy != 0 {
+		t.Errorf("occupancy after return = %+v", byID)
+	}
+}
+
+// TestIngestReplaySkipsSilently: replay-path re-deliveries are dropped
+// without raising OutOfOrder (and so without recommending a rebuild).
+func TestIngestReplaySkipsSilently(t *testing.T) {
+	e := New(Config{Shards: 1})
+	e.Ingest("a", trip("r1", t0, time.Minute))
+	e.IngestReplay("a", trip("r1", t0, time.Minute))                 // duplicate
+	e.IngestReplay("a", trip("r0", t0.Add(-time.Hour), time.Minute)) // behind frontier
+	st := e.Stats()
+	if st.Trips != 1 || st.OutOfOrder != 0 || st.RebuildRecommended {
+		t.Errorf("stats = %+v, want 1 trip, no out-of-order", st)
+	}
+	e.Ingest("a", trip("r0", t0.Add(-time.Minute), time.Minute)) // live backfill
+	if st := e.Stats(); st.OutOfOrder != 1 || !st.RebuildRecommended {
+		t.Errorf("live backfill not flagged: %+v", st)
+	}
+}
+
+// TestRebuildKeepsSubscribers: Rebuild returns a freshly bootstrapped
+// engine whose folds keep flowing to the old engine's subscribers.
+func TestRebuildKeepsSubscribers(t *testing.T) {
+	w, err := tripstore.New(tripstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range []semantics.Triplet{
+		trip("r1", t0, time.Minute),
+		trip("r2", t0.Add(2*time.Minute), time.Minute),
+	} {
+		if err := w.Insert(tripstore.Trip{Device: "dev", Seq: i, Triplet: tr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	old := New(Config{Shards: 2})
+	// Fold out of order so the old engine drops a trip and recommends a
+	// rebuild — the situation Rebuild exists for.
+	old.Ingest("dev", trip("r2", t0.Add(2*time.Minute), time.Minute))
+	old.Ingest("dev", trip("r1", t0, time.Minute))
+	if st := old.Stats(); !st.RebuildRecommended || st.Trips != 1 {
+		t.Fatalf("setup: %+v", st)
+	}
+	sub := old.Subscribe(nil)
+	defer sub.Close()
+
+	fresh, err := old.Rebuild(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fresh.Stats()
+	if st.Trips != 2 || st.OutOfOrder != 0 || st.RebuildRecommended {
+		t.Errorf("rebuilt stats = %+v, want both trips, nothing dropped", st)
+	}
+	// The bootstrap replay published nothing to the adopted hub...
+	select {
+	case d := <-sub.C():
+		t.Fatalf("subscriber saw a historical delta during rebuild: %+v", d)
+	default:
+	}
+	// ...but a live fold into the fresh engine reaches the old subscriber.
+	fresh.Ingest("dev", trip("r3", t0.Add(10*time.Minute), time.Minute))
+	select {
+	case d := <-sub.C():
+		if d.RegionID != "r3" {
+			t.Errorf("post-rebuild delta = %+v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("subscriber lost across rebuild")
+	}
+}

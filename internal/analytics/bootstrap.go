@@ -2,35 +2,80 @@ package analytics
 
 import (
 	"fmt"
+	"time"
 
+	"trips/internal/position"
 	"trips/internal/tripstore"
 )
 
 // Bootstrap replays an existing warehouse into the views: every device's
-// timeline, paged in From order, folds through the same Ingest path the
-// live emitter uses — so a cold start over a persisted store reaches
-// exactly the state live ingestion would have built (the property
-// TestBootstrapMatchesLive locks down). Call it before attaching the
-// engine to a live feed; trips arriving during the replay are deduplicated
-// upstream by the warehouse, not here, so the caller sequences bootstrap
-// before tee-ingest (trips.System.AttachAnalytics does).
+// timeline, paged in From order, folds through the same path the live
+// emitter uses — so a cold start over a persisted store reaches exactly
+// the state live ingestion would have built (the property
+// TestBootstrapMatchesLive locks down).
+//
+// The replay is frontier-bounded: each device resumes strictly past its
+// fold frontier (the From of its last folded triplet), so on a fresh
+// engine it is a full replay, while on an engine pre-populated from a
+// durable snapshot (LoadSnapshot) it replays only the warehouse tail the
+// snapshot missed — boot cost O(tail), not O(stored trips). Re-delivered
+// trips at or behind a frontier are skipped silently (they are replay
+// overlap, not backfill), so Bootstrap never inflates OutOfOrder.
+//
+// Call it before attaching the engine to a live feed; trips arriving
+// during the replay are deduplicated upstream by the warehouse, not here,
+// so the caller sequences bootstrap before tee-ingest
+// (trips.System.AttachAnalytics does).
 func (e *Engine) Bootstrap(w *tripstore.Warehouse) error {
 	const pageSize = 1024
 	for _, dev := range w.Devices() {
-		cursor := ""
+		spec := tripstore.QuerySpec{
+			Device:     dev,
+			StartAfter: e.deviceFrontier(dev),
+			Limit:      pageSize,
+		}
 		for {
-			page, err := w.Query(tripstore.QuerySpec{Device: dev, Limit: pageSize, Cursor: cursor})
+			page, err := w.Query(spec)
 			if err != nil {
 				return fmt.Errorf("analytics: bootstrap %s: %w", dev, err)
 			}
 			for _, tr := range page.Trips {
-				e.Ingest(tr.Device, tr.Triplet)
+				e.IngestReplay(tr.Device, tr.Triplet)
 			}
 			if page.Next == "" {
 				break
 			}
-			cursor = page.Next
+			spec.Cursor = page.Next
 		}
 	}
 	return nil
+}
+
+// deviceFrontier returns the From of the device's last folded triplet —
+// the replay resume point; zero for a device the views have never seen.
+func (e *Engine) deviceFrontier(dev position.DeviceID) (frontier time.Time) {
+	sh := e.shardOf(dev)
+	sh.mu.Lock()
+	if d := sh.devices[dev]; d != nil {
+		frontier = d.lastFrom
+	}
+	sh.mu.Unlock()
+	return frontier
+}
+
+// Rebuild returns a fresh engine with the same configuration that has
+// re-bootstrapped from w, adopting e's live subscription hub so existing
+// subscribers keep receiving deltas from the replacement — the recovery
+// path for RebuildRecommended (a backfill the incremental fold had to
+// drop). The bootstrap replays into the fresh engine before the hub moves
+// over, so subscribers see no historical delta storm; the caller swaps the
+// returned engine in for e (POST /analytics/rebuild on trips-server does,
+// buffering concurrent live emissions across the swap).
+func (e *Engine) Rebuild(w *tripstore.Warehouse) (*Engine, error) {
+	fresh := New(e.cfg)
+	if err := fresh.Bootstrap(w); err != nil {
+		return nil, err
+	}
+	fresh.hub = e.hub
+	return fresh, nil
 }

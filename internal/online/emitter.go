@@ -31,6 +31,20 @@ type Emitter interface {
 	Emit(Emission)
 }
 
+// SessionFinalizer is an optional Emitter extension: when the configured
+// emitter (or a tee in its chain) implements it, the engine calls
+// FinalizeSession after the idle timeout finalizes and evicts a device's
+// session — an explicit "this device is gone" signal, delivered after the
+// session's last triplets emitted. at is the To of the device's final
+// sealed triplet (event time); sessions that never sealed anything are
+// evicted silently. Engine.Close does NOT finalize sessions this way: a
+// shutdown seals every session but is no evidence the devices left.
+// Like Emit, calls arrive from shard goroutines concurrently across
+// devices.
+type SessionFinalizer interface {
+	FinalizeSession(dev position.DeviceID, at time.Time)
+}
+
 // EmitterFunc adapts a function to the Emitter interface (the callback
 // sink).
 type EmitterFunc func(Emission)

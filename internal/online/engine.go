@@ -292,6 +292,12 @@ func (e *Engine) runShard(sh *shard) {
 					// (MAC randomization) don't grow the map forever. A
 					// returning device starts a fresh epoch.
 					delete(sh.sessions, dev)
+					// The eviction is positive evidence the device is gone;
+					// tell a finalizer-aware sink (the analytics tee uses it
+					// to decay occupancy) after the final triplets emitted.
+					if f, ok := e.emitter.(SessionFinalizer); ok && !ss.sealedThrough.IsZero() {
+						f.FinalizeSession(dev, ss.sealedThrough)
+					}
 				}
 			}
 		}

@@ -492,3 +492,71 @@ func TestShardingPreservesPerDeviceOrder(t *testing.T) {
 		}
 	}
 }
+
+// finalizeCollect is a collectEmitter that also records SessionFinalizer
+// calls — the contract the analytics tee consumes.
+type finalizeCollect struct {
+	*collectEmitter
+	mu        sync.Mutex
+	finalized map[position.DeviceID]time.Time
+}
+
+func (f *finalizeCollect) FinalizeSession(dev position.DeviceID, at time.Time) {
+	f.mu.Lock()
+	f.finalized[dev] = at
+	f.mu.Unlock()
+}
+
+func (f *finalizeCollect) get(dev position.DeviceID) (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	at, ok := f.finalized[dev]
+	return at, ok
+}
+
+// TestIdleFinalizeSignalsSessionFinalizer: the idle eviction notifies a
+// finalizer-aware sink once, with the To of the device's last sealed
+// triplet, after that triplet emitted; a plain Close must not.
+func TestIdleFinalizeSignalsSessionFinalizer(t *testing.T) {
+	pl := testPipeline(t)
+	g := lcg(13)
+	recs := journey(&g, "dev-1", t0)
+
+	sink := &finalizeCollect{collectEmitter: newCollect(), finalized: make(map[position.DeviceID]time.Time)}
+	eng, err := NewEngine(pl, Config{
+		Shards:        1,
+		FlushInterval: 5 * time.Millisecond,
+		IdleTimeout:   25 * time.Millisecond,
+		Emitter:       sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		eng.Ingest(r)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := sink.get("dev-1"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle finalize never signaled the sink")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	at, _ := sink.get("dev-1")
+	sink.mu.Lock()
+	emitted := append([]semantics.Triplet(nil), sink.byDev["dev-1"]...)
+	sink.mu.Unlock()
+	if len(emitted) == 0 {
+		t.Fatal("finalize signaled before any triplet emitted")
+	}
+	if last := emitted[len(emitted)-1].To; !at.Equal(last) {
+		t.Errorf("finalize at %v, want the last sealed To %v", at, last)
+	}
+	eng.Close()
+	if n := len(sink.finalized); n != 1 {
+		t.Errorf("%d finalizations after Close, want 1 — Close must not signal departures", n)
+	}
+}

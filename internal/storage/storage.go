@@ -55,15 +55,32 @@ func (s *Store) path(collection, key string) (string, error) {
 	return filepath.Join(s.root, collection, key+".json"), nil
 }
 
-// Put marshals v into collection/key, overwriting atomically.
+// Put marshals v into collection/key (indented, diff-friendly),
+// overwriting atomically.
 func (s *Store) Put(collection, key string, v interface{}) error {
-	p, err := s.path(collection, key)
-	if err != nil {
-		return err
-	}
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("storage: marshal %s/%s: %w", collection, key, err)
+	}
+	return s.putBytes(collection, key, data)
+}
+
+// PutCompact is Put without indentation — for machine-written documents
+// (view snapshots, log segments) where the human-diff value of indenting
+// doesn't justify the extra bytes.
+func (s *Store) PutCompact(collection, key string, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("storage: marshal %s/%s: %w", collection, key, err)
+	}
+	return s.putBytes(collection, key, data)
+}
+
+// putBytes writes a marshaled document atomically (temp file + rename).
+func (s *Store) putBytes(collection, key string, data []byte) error {
+	p, err := s.path(collection, key)
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -91,3 +91,11 @@ func (p *posting) span(since, until time.Time, maxDur time.Duration) (lo, hi int
 func (p *posting) seek(k key) int {
 	return sort.Search(len(p.refs), func(i int) bool { return k.less(p.refs[i].key()) })
 }
+
+// seekFrom returns the first index whose From is strictly after t (the
+// replay-frontier resume point). Because the global order sorts by From
+// first, every ref at or past the returned index satisfies the StartAfter
+// predicate — no residual filtering needed. The posting must be sorted.
+func (p *posting) seekFrom(t time.Time) int {
+	return sort.Search(len(p.refs), func(i int) bool { return p.refs[i].Triplet.From.After(t) })
+}

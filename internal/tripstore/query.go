@@ -29,6 +29,14 @@ type QuerySpec struct {
 	// zero bound is open on that side.
 	Since time.Time `json:"since,omitzero"`
 	Until time.Time `json:"until,omitzero"`
+	// StartAfter selects trips whose From (start instant) is strictly
+	// later — the frontier-bounded replay predicate: a consumer that
+	// already folded a device's timeline through some From resumes past
+	// it without rescanning the prefix. Unlike Since it bounds the start
+	// instant itself (dedupe identity), not period overlap, and it cuts
+	// the index span by binary search, so the scan cost is O(log n +
+	// matches) regardless of how much history precedes the frontier.
+	StartAfter time.Time `json:"startAfter,omitzero"`
 	// Inferred filters on the Complementor flag: nil = both, true = only
 	// inferred, false = only observed.
 	Inferred *bool `json:"inferred,omitempty"`
@@ -125,6 +133,11 @@ func (w *Warehouse) plan(spec QuerySpec) *posting {
 // posting is sorted.
 func (w *Warehouse) collect(p *posting, spec QuerySpec, after key, hasCursor bool) Page {
 	lo, hi := p.span(spec.Since, spec.Until, w.maxDur)
+	if !spec.StartAfter.IsZero() {
+		if s := p.seekFrom(spec.StartAfter); s > lo {
+			lo = s
+		}
+	}
 	if hasCursor {
 		if s := p.seek(after); s > lo {
 			lo = s

@@ -294,6 +294,15 @@ func (se *storeEmitter) Emit(e online.Emission) {
 	}
 }
 
+// FinalizeSession forwards the engine's idle-finalize signal down the tee
+// chain (the analytics tee consumes it); the warehouse itself keeps every
+// sealed trip regardless of whether its device is gone.
+func (se *storeEmitter) FinalizeSession(dev position.DeviceID, at time.Time) {
+	if f, ok := se.next.(online.SessionFinalizer); ok {
+		f.FinalizeSession(dev, at)
+	}
+}
+
 // Close implements io.Closer so online.Engine.Close flushes the warehouse's
 // pending segment when the engine shuts down.
 func (se *storeEmitter) Close() error {

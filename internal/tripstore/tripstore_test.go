@@ -433,3 +433,72 @@ func TestEmitterTee(t *testing.T) {
 		t.Errorf("nil-downstream emit lost: %+v", w.Stats())
 	}
 }
+
+// TestQueryStartAfter covers the frontier-bounded replay predicate: only
+// trips whose From is strictly later than the frontier come back, the
+// index span is cut by binary search (no prefix scan), and the predicate
+// composes with device partitions and pagination.
+func TestQueryStartAfter(t *testing.T) {
+	w, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		mustInsert(t, w, trip("a", i, "nike", time.Duration(2*i)*time.Minute, time.Minute))
+		mustInsert(t, w, trip("b", i, "hall", time.Duration(2*i+1)*time.Minute, time.Minute))
+	}
+	frontier := t0.Add(60 * time.Minute) // device a's trip 30 starts here
+
+	// Device partition: strictly-after semantics resume past the frontier
+	// trip itself.
+	page, err := w.Query(QuerySpec{Device: "a", StartAfter: frontier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Trips) != n-31 {
+		t.Fatalf("device tail = %d trips, want %d", len(page.Trips), n-31)
+	}
+	for _, tr := range page.Trips {
+		if !tr.Triplet.From.After(frontier) {
+			t.Errorf("trip at %v not after the frontier", tr.Triplet.From)
+		}
+	}
+	// The span cut does the work: nothing before the frontier is scanned.
+	if page.Scanned != len(page.Trips) {
+		t.Errorf("scanned %d entries for %d hits — frontier not applied by binary search", page.Scanned, len(page.Trips))
+	}
+
+	// Global order, paginated: both devices interleaved, all strictly past
+	// the frontier, resuming correctly across pages.
+	var got []Trip
+	spec := QuerySpec{StartAfter: frontier, Limit: 7}
+	for {
+		page, err := w.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page.Trips...)
+		if page.Next == "" {
+			break
+		}
+		spec.Cursor = page.Next
+	}
+	if want := (n - 31) + (n - 30); len(got) != want {
+		t.Fatalf("global tail = %d trips, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Triplet.From.Before(got[i-1].Triplet.From) {
+			t.Fatal("tail not in global From order")
+		}
+	}
+
+	// A frontier past everything returns the empty tail.
+	page, err = w.Query(QuerySpec{StartAfter: t0.Add(24 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Trips) != 0 || page.Scanned != 0 {
+		t.Errorf("post-everything frontier returned %d trips, scanned %d", len(page.Trips), page.Scanned)
+	}
+}

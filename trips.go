@@ -35,6 +35,7 @@ package trips
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"image"
 
@@ -111,12 +112,20 @@ type (
 
 	// AnalyticsEngine is the incremental mobility-analytics engine:
 	// sharded materialized views (occupancy, flows, dwell, windowed
-	// popularity) over the sealed-triplet stream, with live subscriptions.
+	// popularity) over the sealed-triplet stream, with live subscriptions
+	// and durable view snapshots (SaveSnapshot / LoadSnapshot /
+	// StartAutoSnapshot).
 	AnalyticsEngine = analytics.Engine
 	// AnalyticsConfig parameterizes the analytics engine.
 	AnalyticsConfig = analytics.Config
+	// AnalyticsStoreOptions locates an engine's durable view snapshot on a
+	// backend store.
+	AnalyticsStoreOptions = analytics.StoreOptions
 	// AnalyticsStats are the analytics engine's diagnostic counters.
 	AnalyticsStats = analytics.Stats
+	// BackendStore is the JSON document store the durability layers ride
+	// on (the warehouse's segment log, the analytics view snapshots).
+	BackendStore = storage.Store
 	// AnalyticsSnapshot is the canonical full dump of every analytics view.
 	AnalyticsSnapshot = analytics.Snapshot
 	// AnalyticsDelta is one view update pushed to live subscribers.
@@ -241,6 +250,34 @@ func OpenWarehouse(dir string) (*Warehouse, error) {
 // Ingest / Bootstrap / the Emitter tee.
 func NewAnalytics(cfg AnalyticsConfig) *AnalyticsEngine { return analytics.New(cfg) }
 
+// OpenBackendStore opens (creating if necessary) a backend document store
+// rooted at dir — the handle AnalyticsStoreOptions and the warehouse log
+// ride on.
+func OpenBackendStore(dir string) (*BackendStore, error) { return storage.Open(dir) }
+
+// OpenAnalytics returns a durable analytics engine rooted at dir: the
+// latest persisted view snapshot (if any, and compatible with cfg) loads
+// into the views, so a subsequent AttachAnalytics / Bootstrap over the
+// warehouse replays only the tail past the snapshot's fold frontiers —
+// boot cost O(tail), not O(stored trips). An incompatible or corrupt
+// snapshot is ignored (the engine starts empty and the next Bootstrap is a
+// full replay). The returned store locates the same snapshot for
+// SaveSnapshot / StartAutoSnapshot; pass the warehouse's Flush as
+// AnalyticsStoreOptions.Sync so snapshots never cover trips the trip log
+// hasn't made durable.
+func OpenAnalytics(cfg AnalyticsConfig, dir string) (*AnalyticsEngine, *BackendStore, error) {
+	st, err := storage.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := analytics.New(cfg)
+	if _, err := a.LoadSnapshot(AnalyticsStoreOptions{Store: st}); err != nil &&
+		!errors.Is(err, analytics.ErrIncompatibleSnapshot) {
+		return nil, nil, err
+	}
+	return a, st, nil
+}
+
 // SaveDataset writes a dataset to a .csv or .jsonl file.
 func SaveDataset(path string, ds *Dataset) error { return position.SaveFile(path, ds) }
 
@@ -327,14 +364,17 @@ func (s *System) Warehouse() *Warehouse { return s.wh }
 // afterwards tee their sealed triplets through it. When a warehouse is
 // already attached, the engine first bootstraps from it — replaying the
 // persisted trips so a cold start over an existing store reaches the same
-// views live ingestion would have built. Pass nil to detach.
+// views live ingestion would have built. The bootstrap is frontier-bounded:
+// an engine pre-populated from a durable snapshot (OpenAnalytics) replays
+// only the warehouse tail past each device's fold frontier. Pass nil to
+// detach.
 //
 // The views are an incremental, order-dependent fold: a later Translate
 // that backfills a device's past (trips starting behind that device's
 // analytics frontier) still lands in the warehouse, but the fold drops it
-// (counted in AnalyticsStats.OutOfOrder). After a backfill, rebuild the
-// views by attaching a fresh engine, which re-bootstraps from the
-// warehouse in timeline order.
+// (counted in AnalyticsStats.OutOfOrder, which raises RebuildRecommended).
+// After a backfill, rebuild the views with AnalyticsEngine.Rebuild (which
+// keeps live subscribers) or by attaching a fresh engine.
 func (s *System) AttachAnalytics(a *AnalyticsEngine) error {
 	if a != nil && s.wh != nil {
 		if err := a.Bootstrap(s.wh); err != nil {

@@ -1,6 +1,8 @@
 package trips
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"sort"
 	"testing"
@@ -104,5 +106,101 @@ func TestAttachAnalyticsBootstrapsFromWarehouse(t *testing.T) {
 	}
 	if sys.Analytics() != nil {
 		t.Error("detach failed")
+	}
+}
+
+// TestGoldenAnalyticsSnapshotBootMatchesBootstrap is the acceptance
+// property of the durability layer: on the golden corpus, booting from a
+// mid-ingestion durable snapshot plus a frontier-bounded warehouse tail
+// replay is byte-identical (marshaled view state) to both a fresh
+// warehouse Bootstrap and the live-teed engine that wrote the snapshot.
+func TestGoldenAnalyticsSnapshotBootMatchesBootstrap(t *testing.T) {
+	cfg := AnalyticsConfig{Shards: 4}
+
+	// Live: online ingestion tees into the views while the warehouse
+	// stores the sealed trips; a durable snapshot is cut midway.
+	sys, ds := goldenSystem(t)
+	w, err := NewWarehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachWarehouse(w)
+	live := NewAnalytics(cfg)
+	if err := sys.AttachAnalytics(live); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sys.NewOnline(OnlineConfig{
+		Shards: 4, FlushEvery: 64, FlushInterval: -1, IdleTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Record
+	for _, seq := range ds.Sequences() {
+		all = append(all, seq.Records...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
+
+	st, err := OpenBackendStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := AnalyticsStoreOptions{Store: st, Sync: w.Flush}
+	for i, r := range all {
+		if err := eng.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(all)/2 {
+			eng.Flush() // seal what the watermark allows, then snapshot mid-stream
+			if err := live.SaveSnapshot(opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.Close()
+
+	total := int64(w.Stats().Trips)
+	if total == 0 {
+		t.Fatal("empty warehouse")
+	}
+
+	// Snapshot boot: load the mid-stream snapshot, replay only the tail.
+	boot := NewAnalytics(cfg)
+	ok, err := boot.LoadSnapshot(opts)
+	if err != nil || !ok {
+		t.Fatalf("LoadSnapshot = %v, %v", ok, err)
+	}
+	preloaded := boot.Stats().Trips
+	if preloaded == 0 || preloaded == total {
+		t.Fatalf("mid-stream snapshot covers %d of %d trips — no tail to replay", preloaded, total)
+	}
+	if err := boot.Bootstrap(w); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("snapshot covered %d trips, tail replay folded %d", preloaded, total-preloaded)
+
+	// Fresh full rebuild.
+	fresh := NewAnalytics(cfg)
+	if err := fresh.Bootstrap(w); err != nil {
+		t.Fatal(err)
+	}
+
+	marshal := func(label string, a *AnalyticsEngine) []byte {
+		t.Helper()
+		b, err := json.Marshal(a.Snapshot())
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return b
+	}
+	liveBytes := marshal("live", live)
+	if !bytes.Equal(liveBytes, marshal("boot", boot)) {
+		t.Error("snapshot+tail boot diverges from the live-teed views")
+	}
+	if !bytes.Equal(liveBytes, marshal("fresh", fresh)) {
+		t.Error("fresh Bootstrap diverges from the live-teed views")
+	}
+	if stats := boot.Stats(); stats.Trips != total || stats.OutOfOrder != 0 {
+		t.Errorf("boot stats = %+v, want %d trips, no drops", stats, total)
 	}
 }
