@@ -391,6 +391,44 @@ func BenchmarkOnlineTranslate(b *testing.B) {
 		}
 		b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
 	})
+	// Long-session variants: one device whose tail grows to 1k/8k records
+	// without a hard break, flushed every 16 records — the workload where
+	// per-flush recompute cost over the tail dominates. The acceptance
+	// property is that ns/record stays roughly flat from 1k to 8k (flush
+	// cost proportional to the new suffix); before the incremental flush it
+	// grew linearly with the tail.
+	for _, n := range []int{1000, 8000} {
+		recs := experiments.LongSessionRecords(e, "long", n)
+		b.Run(fmt.Sprintf("long-session-%dk", n/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var emitted atomic.Int64
+				eng, err := e.Trans.NewOnline(online.Config{
+					Shards:        1,
+					FlushEvery:    16,
+					FlushInterval: -1,
+					IdleTimeout:   -1,
+					Emitter: online.EmitterFunc(func(online.Emission) {
+						emitted.Add(1)
+					}),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range recs {
+					if err := eng.Ingest(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng.Close()
+				if emitted.Load() == 0 {
+					b.Fatal("no semantics emitted")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n*b.N), "ns/record")
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
 }
 
 // warehouseBenchTrips synthesizes n trips in arrival order: 64 devices

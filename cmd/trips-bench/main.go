@@ -7,6 +7,7 @@
 //	trips-bench              # all experiments
 //	trips-bench -exp e4      # one experiment (e1|e2|e3|e4|e5|e6)
 //	trips-bench -devices 40 -floors 7 -shops 8 -seed 3
+//	trips-bench -online -out BENCH_online.json   # online-engine perf JSON
 package main
 
 import (
@@ -28,8 +29,17 @@ func main() {
 		floors  = flag.Int("floors", 3, "mall floors")
 		shops   = flag.Int("shops", 6, "shops per floor")
 		seed    = flag.Int64("seed", 1, "random seed")
+		onlineB = flag.Bool("online", false, "run the online-engine benchmarks and emit machine-readable JSON")
+		outPath = flag.String("out", "BENCH_online.json", "output path for -online results")
 	)
 	flag.Parse()
+
+	if *onlineB {
+		if err := runOnlineBench(*outPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	spec := experiments.DefaultEnvSpec()
 	spec.Devices = *devices

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trips/internal/experiments"
+	"trips/internal/online"
+	"trips/internal/position"
+)
+
+// The -online mode measures the online translation engine's hot paths with
+// testing.Benchmark and writes the results as machine-readable JSON — the
+// perf-trajectory artifact (BENCH_online.json) CI uploads on every run so
+// regressions in the ingest path show up as a diffable number, not a
+// feeling. Workloads:
+//
+//   - long-session-1k / long-session-8k: one device streaming a continuous
+//     multi-dwell journey with no hard break, flushed every 16 records.
+//     Flush cost must track the tail's unstable suffix, so ns_per_record
+//     should hold roughly flat between the two tail lengths.
+//   - population-1h: 16 devices over an hour of mall traffic on one shard,
+//     the sustained-throughput shape of BenchmarkOnlineTranslate.
+
+// onlineBenchResult is one workload's measurement.
+type onlineBenchResult struct {
+	Name        string  `json:"name"`
+	Records     int     `json:"records"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerRecord float64 `json:"ns_per_record"`
+	RecordsPerS float64 `json:"records_per_s"`
+	// TripsPerS is the rate of emitted (sealed) triplets.
+	TripsPerS float64 `json:"trips_per_s"`
+}
+
+// onlineBenchFile is the BENCH_online.json schema.
+type onlineBenchFile struct {
+	Suite      string              `json:"suite"`
+	Go         string              `json:"go"`
+	Cpus       int                 `json:"cpus"`
+	Benchmarks []onlineBenchResult `json:"benchmarks"`
+}
+
+// runOnlineBench measures the workloads and writes outPath.
+func runOnlineBench(outPath string) error {
+	spec := experiments.DefaultEnvSpec()
+	spec.Devices = 16
+	spec.Window = time.Hour
+	env, err := experiments.NewEnv(spec)
+	if err != nil {
+		return err
+	}
+
+	file := onlineBenchFile{Suite: "online", Go: runtime.Version(), Cpus: runtime.NumCPU()}
+	for _, n := range []int{1000, 8000} {
+		recs := experiments.LongSessionRecords(env, "long", n)
+		file.Benchmarks = append(file.Benchmarks,
+			measureOnline(fmt.Sprintf("long-session-%dk", n/1000), env, recs))
+	}
+	var population []position.Record
+	for _, seq := range env.Raw.Sequences() {
+		population = append(population, seq.Records...)
+	}
+	file.Benchmarks = append(file.Benchmarks, measureOnline("population-1h", env, population))
+
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	for _, b := range file.Benchmarks {
+		fmt.Printf("%-16s %8d records  %10.0f ns/record  %8.0f records/s  %8.0f trips/s  %6d allocs/op\n",
+			b.Name, b.Records, b.NsPerRecord, b.RecordsPerS, b.TripsPerS, b.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// measureOnline runs one full engine pass (start, ingest every record,
+// close) per benchmark op and derives the per-record rates.
+func measureOnline(name string, env *experiments.Env, recs []position.Record) onlineBenchResult {
+	var emittedPerOp int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var emitted atomic.Int64
+			eng, err := env.Trans.NewOnline(online.Config{
+				Shards:        1,
+				FlushEvery:    16,
+				FlushInterval: -1,
+				IdleTimeout:   -1,
+				Emitter: online.EmitterFunc(func(online.Emission) {
+					emitted.Add(1)
+				}),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range recs {
+				if err := eng.Ingest(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.Close()
+			if emitted.Load() == 0 {
+				b.Fatal("no semantics emitted")
+			}
+			emittedPerOp = emitted.Load()
+		}
+	})
+	nsPerOp := res.NsPerOp()
+	secPerOp := float64(nsPerOp) / 1e9
+	return onlineBenchResult{
+		Name:        name,
+		Records:     len(recs),
+		NsPerOp:     nsPerOp,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		NsPerRecord: float64(nsPerOp) / float64(len(recs)),
+		RecordsPerS: float64(len(recs)) / secPerOp,
+		TripsPerS:   float64(emittedPerOp) / secPerOp,
+	}
+}

@@ -299,38 +299,35 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 }
 
 // handleIngest accepts positioning records (CSV rows or JSON lines, the
-// same formats the Data Selector reads from files) and feeds them to the
-// online engine.
+// same formats the Data Selector reads from files) and streams them into
+// the online engine as they parse: O(1) memory per request instead of
+// materializing the dataset, so the 64MB body cap bounds the wire size,
+// not the server's heap. Error accounting stays per-record: a malformed
+// row stops the stream with its row number, and the response reports how
+// many records had already been ingested by then.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	ingest := func(rec position.Record) error { return s.engine.Ingest(rec) }
 	var (
-		ds  *position.Dataset
+		n   int
 		err error
 	)
-	// Both readers materialize the dataset before ingesting; cap the body
-	// so one request cannot exhaust memory.
-	body := http.MaxBytesReader(w, r.Body, 64<<20)
 	if strings.Contains(r.Header.Get("Content-Type"), "json") {
-		ds, err = position.ReadJSONL(body)
+		n, err = position.StreamJSONL(body, ingest)
 	} else {
-		ds, err = position.ReadCSV(body)
+		n, err = position.StreamCSV(body, ingest)
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	n := 0
-	for _, seq := range ds.Sequences() {
-		for _, rec := range seq.Records {
-			if err := s.engine.Ingest(rec); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
-			}
-			n++
+		code := http.StatusBadRequest
+		if errors.Is(err, online.ErrClosed) {
+			code = http.StatusServiceUnavailable
 		}
+		http.Error(w, fmt.Sprintf("%v (%d records ingested before the error)", err, n), code)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{"records": n})

@@ -136,6 +136,34 @@ func TestIngestAndLive(t *testing.T) {
 	}
 }
 
+// TestIngestStreamsUntilBadRow: ingest streams records into the engine as
+// they parse, so a malformed row mid-stream fails the request with the row
+// number and the count already ingested — and the valid prefix is really
+// in the engine.
+func TestIngestStreamsUntilBadRow(t *testing.T) {
+	s := demoServer(t)
+	mux := s.mux()
+	before := s.engine.Stats().RecordsIn
+	body := "device,x,y,floor,time\n" +
+		"stream-1,5.0,5.0,1F,2017-01-01T15:00:00Z\n" +
+		"stream-1,5.2,5.1,1F,2017-01-01T15:00:05Z\n" +
+		"stream-1,bogus,5.2,1F,2017-01-01T15:00:10Z\n" +
+		"stream-1,5.4,5.3,1F,2017-01-01T15:00:15Z\n"
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	msg := rec.Body.String()
+	if !strings.Contains(msg, "row 4") || !strings.Contains(msg, "2 records ingested") {
+		t.Errorf("error lacks row number or ingested count: %q", msg)
+	}
+	s.engine.Flush() // barrier: drain the shard inboxes before reading stats
+	if got := s.engine.Stats().RecordsIn - before; got != 2 {
+		t.Errorf("engine ingested %d records, want the 2 before the bad row", got)
+	}
+}
+
 func TestStatsEndpoint(t *testing.T) {
 	s := demoServer(t)
 	rec := httptest.NewRecorder()

@@ -78,13 +78,49 @@ func segmentDense(recs []position.Record) bool {
 // Identify classifies a snippet, returning the event and the model's
 // confidence (the winning class probability).
 func (m *EventModel) Identify(sn Snippet) (semantics.Event, float64) {
-	x := m.scaler.Transform(Featurize(sn))
+	return m.IdentifyWith(nil, sn)
+}
+
+// Scratch holds reusable buffers for repeated identification calls — one
+// per caller, not safe for concurrent use. A nil *Scratch is valid and
+// allocates per call.
+type Scratch struct {
+	feat   []float64
+	scaled []float64
+	pts    []geom.Point
+}
+
+// IdentifyWith is Identify with caller-owned scratch buffers, so a caller
+// classifying snippets in a loop (the online engine's flush path) does not
+// reallocate feature vectors on every call.
+func (m *EventModel) IdentifyWith(sc *Scratch, sn Snippet) (semantics.Event, float64) {
+	var x []float64
+	if sc == nil {
+		x = m.scaler.Transform(Featurize(sn))
+	} else {
+		sc.feat = zeroed(sc.feat, NumFeatures)
+		featurizeInto(sc.feat, &sc.pts, sn.Records, sn.Dense)
+		sc.scaled = zeroed(sc.scaled, NumFeatures)
+		x = m.scaler.transformInto(sc.scaled, sc.feat)
+	}
 	label, probs := m.clf.Predict(x)
 	conf := 0.0
 	if label < len(probs) {
 		conf = probs[label]
 	}
 	return m.labels[label], conf
+}
+
+// zeroed returns buf resized to n entries, all zero.
+func zeroed(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // Events returns the events the model can identify, sorted.
@@ -160,119 +196,161 @@ type regionSnippet struct {
 // dropouts fragment one long dwell into several snippets, and duration-
 // sensitive event patterns (a one-hour meeting vs a five-minute errand)
 // can only be recognized on the whole dwell.
+//
+// For re-annotating a sequence that grows between calls, NewIncremental
+// produces identical output in time proportional to the new suffix.
 func (a *Annotator) Annotate(s *position.Sequence) *semantics.Sequence {
 	out := semantics.NewSequence(string(s.Device))
+	labels := a.labelRecords(s, nil, 0)
+	refined := a.refineAndMatch(s, Split(s, a.Cfg.Split), labels, nil)
+	for _, g := range a.consolidate(s, refined) {
+		out.Append(a.annotateSnippet(g, nil))
+	}
+	return out
+}
+
+// labelRecords fills labels[from:] with the ID of the semantic region
+// covering each record ("" outside every region), growing labels to
+// s.Len(). One shared label array feeds both the region-refinement
+// smoothing and the majority vote of the spatial annotation.
+func (a *Annotator) labelRecords(s *position.Sequence, labels []dsm.RegionID, from int) []dsm.RegionID {
+	n := s.Len()
+	if cap(labels) < n {
+		// Doubled-capacity growth: the incremental annotator calls this on
+		// a tail that grows a few records per flush.
+		grown := make([]dsm.RegionID, n, 2*n)
+		copy(grown, labels[:from])
+		labels = grown
+	} else {
+		labels = labels[:n]
+	}
+	for i := from; i < n; i++ {
+		labels[i] = ""
+		r := s.Records[i]
+		if reg := a.Model.RegionAt(r.P, r.Floor); reg != nil {
+			labels[i] = reg.ID
+		}
+	}
+	return labels
+}
+
+// refineAndMatch refines every snippet at persistent region changes and
+// resolves each refined snippet's spatial annotation, appending to out.
+func (a *Annotator) refineAndMatch(s *position.Sequence, sns []Snippet, labels []dsm.RegionID, out []regionSnippet) []regionSnippet {
+	for _, sn := range sns {
+		out = a.refineSnippet(s, sn, labels, out)
+	}
+	return out
+}
+
+// refineSnippet splits one snippet at persistent semantic-region changes:
+// two adjacent dwells can share one density cluster (noise bridges
+// neighboring shops), but their records vote for different regions. A
+// boundary is kept only when both sides hold their region for at least
+// minRun records, so single noisy strays do not fragment snippets. Each
+// resulting sub-snippet is appended to out with its spatial annotation
+// resolved.
+func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm.RegionID, out []regionSnippet) []regionSnippet {
+	const minRun = 5
+	emit := func(sub Snippet) []regionSnippet {
+		tag, rid := a.matchRegion(sub, labels)
+		return append(out, regionSnippet{sn: sub, tag: tag, rid: rid})
+	}
+	if len(sn.Records) < 2*minRun {
+		return emit(sn)
+	}
+	// Per-record region labels, majority-smoothed over a 5-wide window so
+	// boundary noise does not shred runs.
+	raw := labels[sn.First : sn.Last+1]
+	smoothed := make([]dsm.RegionID, len(raw))
+	for i := range raw {
+		lo, hi := i-2, i+3
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		votes := make(map[dsm.RegionID]int, 3)
+		for _, l := range raw[lo:hi] {
+			votes[l]++
+		}
+		// Deterministic majority: the record's own label wins ties it
+		// participates in, otherwise the smallest ID does — map
+		// iteration order must not decide snippet boundaries.
+		best := raw[i]
+		bestCnt := votes[best]
+		for l, c := range votes {
+			if c > bestCnt || (c == bestCnt && best != raw[i] && l < best) {
+				best, bestCnt = l, c
+			}
+		}
+		smoothed[i] = best
+	}
+	// Runs of identical smoothed labels; short runs merge backward.
+	type run struct{ start, end int } // [start, end)
+	var runs []run
+	start := 0
+	for i := 1; i <= len(smoothed); i++ {
+		if i < len(smoothed) && smoothed[i] == smoothed[start] {
+			continue
+		}
+		if i-start < minRun && len(runs) > 0 {
+			runs[len(runs)-1].end = i
+		} else {
+			runs = append(runs, run{start, i})
+		}
+		start = i
+	}
+	// A leading short run merges forward.
+	if len(runs) > 1 && runs[0].end-runs[0].start < minRun {
+		runs[1].start = runs[0].start
+		runs = runs[1:]
+	}
+	if len(runs) < 2 {
+		return emit(sn)
+	}
+	cuts := make([]int, 0, len(runs)+1)
+	for _, r := range runs {
+		cuts = append(cuts, r.start)
+	}
+	cuts = append(cuts, len(sn.Records))
+	for c := 1; c < len(cuts); c++ {
+		lo, hi := cuts[c-1], cuts[c]-1
+		out = emit(Snippet{
+			First:   sn.First + lo,
+			Last:    sn.First + hi,
+			Records: s.Records[sn.First+lo : sn.First+hi+1],
+			Dense:   sn.Dense,
+		})
+	}
+	return out
+}
+
+// consolidate merges consecutive refined snippets that share the event-
+// relevant identity (tag, region, density) and sit within MergeGap of each
+// other — the same-region consolidation of the Annotate pipeline.
+func (a *Annotator) consolidate(s *position.Sequence, refined []regionSnippet) []regionSnippet {
 	var groups []regionSnippet
-	for _, sn := range a.refineByRegion(s, Split(s, a.Cfg.Split)) {
-		tag, rid := a.matchRegion(sn)
+	for _, g := range refined {
 		if n := len(groups); a.Cfg.MergeGap > 0 && n > 0 {
 			prev := &groups[n-1]
-			gap := sn.Records[0].At.Sub(prev.sn.Records[len(prev.sn.Records)-1].At)
-			if prev.tag == tag && prev.rid == rid && prev.sn.Dense == sn.Dense && gap <= a.Cfg.MergeGap {
-				prev.sn = joinSnippets(s, prev.sn, sn)
+			gap := g.sn.Records[0].At.Sub(prev.sn.Records[len(prev.sn.Records)-1].At)
+			if prev.tag == g.tag && prev.rid == g.rid && prev.sn.Dense == g.sn.Dense && gap <= a.Cfg.MergeGap {
+				prev.sn = joinSnippets(s, prev.sn, g.sn)
 				continue
 			}
 		}
-		groups = append(groups, regionSnippet{sn: sn, tag: tag, rid: rid})
+		groups = append(groups, g)
 	}
-	for _, g := range groups {
-		out.Append(a.annotateSnippet(g))
-	}
-	return out
+	return groups
 }
 
-// refineByRegion splits snippets at persistent semantic-region changes: two
-// adjacent dwells can share one density cluster (noise bridges neighboring
-// shops), but their records vote for different regions. A boundary is kept
-// only when both sides hold their region for at least minRun records, so
-// single noisy strays do not fragment snippets.
-func (a *Annotator) refineByRegion(s *position.Sequence, sns []Snippet) []Snippet {
-	const minRun = 5
-	var out []Snippet
-	for _, sn := range sns {
-		if len(sn.Records) < 2*minRun {
-			out = append(out, sn)
-			continue
-		}
-		// Per-record region labels, majority-smoothed over a 5-wide window
-		// so boundary noise does not shred runs.
-		raw := make([]dsm.RegionID, len(sn.Records))
-		for i, r := range sn.Records {
-			if reg := a.Model.RegionAt(r.P, r.Floor); reg != nil {
-				raw[i] = reg.ID
-			}
-		}
-		labels := make([]dsm.RegionID, len(raw))
-		for i := range raw {
-			lo, hi := i-2, i+3
-			if lo < 0 {
-				lo = 0
-			}
-			if hi > len(raw) {
-				hi = len(raw)
-			}
-			votes := make(map[dsm.RegionID]int, 3)
-			for _, l := range raw[lo:hi] {
-				votes[l]++
-			}
-			// Deterministic majority: the record's own label wins ties it
-			// participates in, otherwise the smallest ID does — map
-			// iteration order must not decide snippet boundaries.
-			best := raw[i]
-			bestCnt := votes[best]
-			for l, c := range votes {
-				if c > bestCnt || (c == bestCnt && best != raw[i] && l < best) {
-					best, bestCnt = l, c
-				}
-			}
-			labels[i] = best
-		}
-		// Runs of identical smoothed labels; short runs merge backward.
-		type run struct{ start, end int } // [start, end)
-		var runs []run
-		start := 0
-		for i := 1; i <= len(labels); i++ {
-			if i < len(labels) && labels[i] == labels[start] {
-				continue
-			}
-			if i-start < minRun && len(runs) > 0 {
-				runs[len(runs)-1].end = i
-			} else {
-				runs = append(runs, run{start, i})
-			}
-			start = i
-		}
-		// A leading short run merges forward.
-		if len(runs) > 1 && runs[0].end-runs[0].start < minRun {
-			runs[1].start = runs[0].start
-			runs = runs[1:]
-		}
-		if len(runs) < 2 {
-			out = append(out, sn)
-			continue
-		}
-		cuts := make([]int, 0, len(runs)+1)
-		for _, r := range runs {
-			cuts = append(cuts, r.start)
-		}
-		cuts = append(cuts, len(sn.Records))
-		for c := 1; c < len(cuts); c++ {
-			lo, hi := cuts[c-1], cuts[c]-1
-			out = append(out, Snippet{
-				First:   sn.First + lo,
-				Last:    sn.First + hi,
-				Records: s.Records[sn.First+lo : sn.First+hi+1],
-				Dense:   sn.Dense,
-			})
-		}
-	}
-	return out
-}
-
-// annotateSnippet builds one triplet from a region-resolved snippet.
-func (a *Annotator) annotateSnippet(g regionSnippet) semantics.Triplet {
+// annotateSnippet builds one triplet from a region-resolved snippet. sc,
+// when non-nil, provides reusable buffers for the feature extraction.
+func (a *Annotator) annotateSnippet(g regionSnippet, sc *Scratch) semantics.Triplet {
 	sn := g.sn
-	ev, conf := a.Events.Identify(sn)
+	ev, conf := a.Events.IdentifyWith(sc, sn)
 	if a.Cfg.MinConfidence > 0 && conf < a.Cfg.MinConfidence {
 		ev = semantics.EventUnknown
 	}
@@ -292,14 +370,15 @@ func (a *Annotator) annotateSnippet(g regionSnippet) semantics.Triplet {
 }
 
 // matchRegion makes the spatial annotation: the semantic region covering the
-// majority of the snippet's records. When no record falls in any region, the
-// walkable partition of the snippet medoid names the annotation (so the
-// triplet is still localized, just not semantically tagged).
-func (a *Annotator) matchRegion(sn Snippet) (string, dsm.RegionID) {
+// majority of the snippet's records (labels holds the per-record region IDs
+// for the whole sequence). When no record falls in any region, the walkable
+// partition of the snippet medoid names the annotation (so the triplet is
+// still localized, just not semantically tagged).
+func (a *Annotator) matchRegion(sn Snippet, labels []dsm.RegionID) (string, dsm.RegionID) {
 	votes := make(map[dsm.RegionID]int)
-	for _, r := range sn.Records {
-		if reg := a.Model.RegionAt(r.P, r.Floor); reg != nil {
-			votes[reg.ID]++
+	for _, l := range labels[sn.First : sn.Last+1] {
+		if l != "" {
+			votes[l]++
 		}
 	}
 	if len(votes) > 0 {

@@ -36,12 +36,26 @@ func Featurize(sn Snippet) []float64 {
 // FeaturizeRecords computes the feature vector of a record run. dense is the
 // density flag from the splitter (or a best guess for training segments).
 func FeaturizeRecords(recs []position.Record, dense bool) []float64 {
-	f := make([]float64, NumFeatures)
+	var pts []geom.Point
+	return featurizeInto(make([]float64, NumFeatures), &pts, recs, dense)
+}
+
+// featurizeInto computes the feature vector into f (len NumFeatures, zeroed
+// by the caller), borrowing *pts as point scratch — the allocation-free
+// inner loop behind FeaturizeRecords that the online engine's per-session
+// scratch reuses across flushes.
+func featurizeInto(f []float64, ptsBuf *[]geom.Point, recs []position.Record, dense bool) []float64 {
 	n := len(recs)
 	if n == 0 {
 		return f
 	}
-	pts := make([]geom.Point, n)
+	pts := *ptsBuf
+	if cap(pts) < n {
+		pts = make([]geom.Point, n)
+	} else {
+		pts = pts[:n]
+	}
+	*ptsBuf = pts
 	for i, r := range recs {
 		pts[i] = r.P
 	}
@@ -140,10 +154,15 @@ func FitScaler(X [][]float64) *Scaler {
 
 // Transform returns the standardized copy of x.
 func (sc *Scaler) Transform(x []float64) []float64 {
+	return sc.transformInto(make([]float64, len(x)), x)
+}
+
+// transformInto standardizes x into out (len(x), zeroed by the caller).
+func (sc *Scaler) transformInto(out, x []float64) []float64 {
 	if len(sc.Mean) == 0 {
-		return append([]float64(nil), x...)
+		copy(out, x)
+		return out
 	}
-	out := make([]float64, len(x))
 	for j, v := range x {
 		if sc.Std[j] > 1e-12 {
 			out[j] = (v - sc.Mean[j]) / sc.Std[j]

@@ -1,0 +1,219 @@
+package annotation
+
+import (
+	"sort"
+
+	"trips/internal/dsm"
+	"trips/internal/position"
+	"trips/internal/semantics"
+)
+
+// Incremental re-annotates a cleaned sequence that grows between calls in
+// time proportional to the new suffix, producing exactly what
+// Annotator.Annotate would. Create one per growing sequence with
+// NewIncremental; not safe for concurrent use.
+//
+// Every stage caches what a new suffix provably cannot have changed:
+//
+//   - density flags are final once the watermark is more than EpsTime past
+//     a record (one more record of slack for the majority smoothing);
+//   - per-record region labels and split cuts depend only on record values,
+//     so they are final below the caller's stable index;
+//   - refined region-snippets and the final triplets are reused through an
+//     aligned-prefix comparison: a snippet or consolidated group whose
+//     extent, density class, and region identity are unchanged — and whose
+//     records all lie below the stable index — annotates to the identical
+//     triplet, so the cached one is emitted without re-running the
+//     classifier.
+//
+// The cheap structural scans (cut rebuild, tiny-snippet merge,
+// consolidation, prefix comparison) still walk the whole tail, but they are
+// integer-and-timestamp work; every geometric or learned computation —
+// density neighborhoods, region point location, feature extraction,
+// classification — is confined to the suffix.
+type Incremental struct {
+	a   *Annotator
+	cfg SplitConfig // resolved, like Split resolves it
+
+	n       int    // records covered by the last call
+	raw     []bool // pre-smooth density flags
+	sm      []bool // smoothed density flags
+	densePS []int  // prefix sums of sm, len n+1
+	labels  []dsm.RegionID
+
+	snips             []Snippet       // scratch: pre-merge snippet list
+	merged            []Snippet       // post-mergeTiny snippets of the last call
+	mergedScratch     []Snippet       // double buffer for merged
+	refined           []regionSnippet // refined+matched snippets of the last call
+	refinedScratch    []regionSnippet
+	refinedEnd        []int // per merged snippet, end index into refined
+	refinedEndScratch []int
+	groups            []regionSnippet // consolidated groups of the last call
+	trips             []semantics.Triplet
+	tripsScratch      []semantics.Triplet
+
+	sc Scratch // classifier buffers
+}
+
+// NewIncremental returns an incremental annotator bound to a's
+// configuration and model.
+func (a *Annotator) NewIncremental() *Incremental {
+	return &Incremental{a: a, cfg: a.Cfg.Split.resolved()}
+}
+
+// Reset clears every cache, keeping allocated buffers; the next Annotate
+// recomputes from scratch.
+func (inc *Incremental) Reset() { inc.n = 0 }
+
+// Annotate returns the annotation of s, identical to inc's Annotator
+// running Annotate(s) from scratch. stable is the caller's frozen-prefix
+// hint: records with index below it are unchanged — same values, same
+// positions — since the previous call on this Incremental (0 forces a full
+// recompute). The returned sequence's triplet slice is owned by the caller;
+// it does not alias the cache.
+func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Sequence {
+	out := semantics.NewSequence(string(s.Device))
+	n := s.Len()
+	if n == 0 {
+		inc.Reset()
+		return out
+	}
+	if n < inc.n || stable > inc.n {
+		stable = 0 // shrunk or inconsistent hint: recompute everything
+	}
+
+	// Stage 1: density flags. A changed or new record sits at index ≥
+	// stable, hence (time-sorted) at or after At(stable); raw flags of
+	// records more than EpsTime before that instant keep their
+	// neighborhoods. The smoothing window adds one record of slack.
+	f0 := n
+	if stable < n {
+		limit := s.Records[stable].At.Add(-inc.cfg.EpsTime)
+		f0 = sort.Search(n, func(i int) bool { return !s.Records[i].At.Before(limit) })
+		if f0 > stable {
+			f0 = stable
+		}
+	}
+	if stable == 0 {
+		f0 = 0
+	}
+	inc.raw = growBools(inc.raw, n)
+	inc.sm = growBools(inc.sm, n)
+	denseMaskRange(s, inc.cfg, inc.raw, f0)
+	s0 := f0 - 1
+	if s0 < 0 {
+		s0 = 0
+	}
+	for i := s0; i < n; i++ {
+		inc.sm[i] = smoothedAt(inc.raw, i)
+	}
+	if cap(inc.densePS) < n+1 {
+		ps := make([]int, n+1, 2*(n+1)) // slack: the tail grows every flush
+		copy(ps, inc.densePS)
+		inc.densePS = ps
+	} else {
+		inc.densePS = inc.densePS[:n+1]
+	}
+	for i := s0; i < n; i++ {
+		d := 0
+		if inc.sm[i] {
+			d = 1
+		}
+		inc.densePS[i+1] = inc.densePS[i] + d
+	}
+
+	// Stage 2: per-record region labels (point location); value-local, so
+	// only the suffix re-resolves.
+	inc.labels = inc.a.labelRecords(s, inc.labels, stable)
+
+	// Stage 3: split cuts and the pre-merge snippet list, then the tiny-
+	// snippet merge — integer/timestamp scans over the whole tail, with the
+	// density majority answered by the prefix sums.
+	inc.snips = inc.snips[:0]
+	start := 0
+	for i := 1; i < n; i++ {
+		if cutAt(s, inc.sm, inc.cfg.MaxGap, i) {
+			inc.snips = append(inc.snips, inc.makeSnippetPS(s, start, i-1))
+			start = i
+		}
+	}
+	inc.snips = append(inc.snips, inc.makeSnippetPS(s, start, n-1))
+	merged := mergeTiny(s, inc.snips, inc.cfg)
+
+	// Stage 4: refine + spatial match, reusing the aligned cached prefix.
+	// A merged snippet with the same extent and density class, fully below
+	// the stable index, refines and matches to the identical sub-snippets.
+	keep := 0
+	for keep < len(merged) && keep < len(inc.merged) && keep < len(inc.refinedEnd) {
+		a, b := merged[keep], inc.merged[keep]
+		if a.First != b.First || a.Last != b.Last || a.Dense != b.Dense || a.Last >= stable {
+			break
+		}
+		keep++
+	}
+	refined := inc.refinedScratch[:0]
+	refinedEnd := inc.refinedEndScratch[:0]
+	if keep > 0 {
+		refined = append(refined, inc.refined[:inc.refinedEnd[keep-1]]...)
+		refinedEnd = append(refinedEnd, inc.refinedEnd[:keep]...)
+	}
+	for _, sn := range merged[keep:] {
+		refined = inc.a.refineSnippet(s, sn, inc.labels, refined)
+		refinedEnd = append(refinedEnd, len(refined))
+	}
+
+	// Stage 5: same-region consolidation (cheap scan), then the triplets,
+	// reusing the aligned cached prefix of unchanged groups.
+	groups := inc.a.consolidate(s, refined)
+	keepG := 0
+	for keepG < len(groups) && keepG < len(inc.groups) && keepG < len(inc.trips) {
+		a, b := groups[keepG], inc.groups[keepG]
+		if a.sn.First != b.sn.First || a.sn.Last != b.sn.Last || a.sn.Dense != b.sn.Dense ||
+			a.tag != b.tag || a.rid != b.rid || a.sn.Last >= stable {
+			break
+		}
+		keepG++
+	}
+	trips := append(inc.tripsScratch[:0], inc.trips[:keepG]...)
+	for _, g := range groups[keepG:] {
+		trips = append(trips, inc.a.annotateSnippet(g, &inc.sc))
+	}
+
+	// Swap the double buffers and publish the caches.
+	inc.refinedScratch, inc.refined = inc.refined, refined
+	inc.refinedEndScratch, inc.refinedEnd = inc.refinedEnd, refinedEnd
+	inc.mergedScratch = append(inc.mergedScratch[:0], merged...)
+	inc.merged, inc.mergedScratch = inc.mergedScratch, inc.merged
+	inc.tripsScratch, inc.trips = inc.trips, trips
+	inc.groups = append(inc.groups[:0], groups...)
+	inc.n = n
+
+	for _, t := range inc.trips {
+		out.Append(t)
+	}
+	return out
+}
+
+// makeSnippetPS is makeSnippet with the density majority answered by the
+// smoothed-flag prefix sums.
+func (inc *Incremental) makeSnippetPS(s *position.Sequence, first, last int) Snippet {
+	cnt := inc.densePS[last+1] - inc.densePS[first]
+	return Snippet{
+		First:   first,
+		Last:    last,
+		Records: s.Records[first : last+1],
+		Dense:   cnt*2 >= last-first+1,
+	}
+}
+
+// growBools resizes buf to n entries, keeping existing values. Growth
+// doubles capacity: a session tail grows by a few records per flush, and
+// exact-size growth would reallocate-and-copy the whole array every flush.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		grown := make([]bool, n, 2*n)
+		copy(grown, buf)
+		return grown
+	}
+	return buf[:n]
+}

@@ -1,0 +1,152 @@
+package annotation
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+	"trips/internal/position"
+	"trips/internal/semantics"
+	"trips/internal/testvenue"
+)
+
+// growAnnotator builds an annotator over the two-floor venue with a trained
+// stay/pass-by model.
+func growAnnotator(t *testing.T, cfg Config) *Annotator {
+	t.Helper()
+	m := testvenue.MustTwoFloor()
+	em, err := TrainEventModel(trainingSet(t), NewGaussianNB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAnnotator(m, em, cfg)
+}
+
+func assertSameAnnotation(t *testing.T, seed uint32, step int, inc, full []semantics.Triplet) {
+	t.Helper()
+	if len(inc) != len(full) {
+		t.Fatalf("seed %d step %d: %d triplets incremental, %d full", seed, step, len(inc), len(full))
+	}
+	for i := range full {
+		if !reflect.DeepEqual(inc[i], full[i]) {
+			t.Fatalf("seed %d step %d: triplet %d differs:\nincremental: %+v\nfull:        %+v", seed, step, i, inc[i], full[i])
+		}
+	}
+}
+
+// TestIncrementalAnnotateMatchesFull drives randomized growing sequences —
+// dwells, hall walks, floor flips, dropout gaps, and bounded out-of-order
+// inserts — through Incremental.Annotate with a trailing-lag stable hint
+// and asserts the output equals a from-scratch Annotate after every step.
+func TestIncrementalAnnotateMatchesFull(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), func() Config {
+		c := DefaultConfig()
+		c.Split.DisableHeadMerge = true // the trimmed-tail variant the engine uses
+		c.MergeGap = 0
+		return c
+	}()} {
+		a := growAnnotator(t, cfg)
+		for seed := uint32(1); seed <= 8; seed++ {
+			st := seed
+			next := func(mod uint32) uint32 { st = st*1664525 + 1013904223; return (st >> 8) % mod }
+			inc := a.NewIncremental()
+			s := position.NewSequence("d")
+			at := t0
+			const lag = 3 * time.Minute
+			stable := 0
+			reused := false
+			for step := 0; step < 25; step++ {
+				burst := int(next(20)) + 1
+				for i := 0; i < burst; i++ {
+					var p geom.Point
+					fl := dsm.FloorID(1)
+					switch next(10) {
+					case 0, 1, 2: // hall walk
+						p = geom.Pt(2+float64(next(28)), 3+float64(next(4)))
+					case 3: // second floor dwell
+						p = geom.Pt(5+float64(next(3)), 14+float64(next(3)))
+						fl = 2
+					default: // dwell near a shop
+						p = geom.Pt(4+float64(next(4)), 13+float64(next(5)))
+					}
+					rt := at
+					if next(9) == 0 && stable > 0 {
+						// Out-of-order insert behind the watermark but after
+						// the stable boundary.
+						back := time.Duration(next(uint32(lag/time.Second))) * time.Second
+						if cand := at.Add(-back); cand.After(s.Records[stable-1].At) {
+							rt = cand
+						}
+					}
+					s.Append(position.Record{Device: "d", P: p, Floor: fl, At: rt})
+					step := time.Duration(3+int(next(5))) * time.Second
+					if next(30) == 0 {
+						step = 6 * time.Minute // dropout gap
+					}
+					at = at.Add(step)
+				}
+				got := inc.Annotate(s, stable)
+				want := a.Annotate(s)
+				assertSameAnnotation(t, seed, step, got.Triplets, want.Triplets)
+				if stable > 0 {
+					reused = true
+				}
+				// Next call's stable hint: records more than lag behind the
+				// end existed this call and can no longer change or shift.
+				floor := s.End().Add(-lag)
+				stable = 0
+				for stable < s.Len() && !s.Records[stable].At.After(floor) {
+					stable++
+				}
+			}
+			if !reused {
+				t.Errorf("seed %d: stable hint never advanced; incremental path untested", seed)
+			}
+		}
+	}
+}
+
+// TestIncrementalAnnotateUnchanged: re-annotating an unchanged sequence
+// with stable == Len() (every record behind the admission floor — e.g. a
+// provisional snapshot query between arrivals) must not panic and must
+// still match the full annotation.
+func TestIncrementalAnnotateUnchanged(t *testing.T) {
+	a := growAnnotator(t, DefaultConfig())
+	g := lcg(9)
+	s := seqFrom(stayRecords(&g, geom.Pt(5, 15), 1, t0, 20, 5*time.Second))
+	inc := a.NewIncremental()
+	want := a.Annotate(s)
+	got := inc.Annotate(s, 0)
+	assertSameAnnotation(t, 0, 0, got.Triplets, want.Triplets)
+	got = inc.Annotate(s, s.Len())
+	assertSameAnnotation(t, 0, 1, got.Triplets, want.Triplets)
+}
+
+// TestIncrementalAnnotateReset: after Reset (or a shrunk sequence) the
+// incremental annotator recovers with a full recompute.
+func TestIncrementalAnnotateReset(t *testing.T) {
+	a := growAnnotator(t, DefaultConfig())
+	g := lcg(5)
+	s := seqFrom(
+		stayRecords(&g, geom.Pt(5, 15), 1, t0, 80, 5*time.Second),
+		walkRecords(&g, geom.Pt(5, 7), geom.Pt(27, 7), 1, t0.Add(7*time.Minute), 2*time.Second),
+		stayRecords(&g, geom.Pt(25, 15), 1, t0.Add(12*time.Minute), 80, 5*time.Second),
+	)
+	inc := a.NewIncremental()
+	want := a.Annotate(s)
+	got := inc.Annotate(s, 0)
+	assertSameAnnotation(t, 0, 0, got.Triplets, want.Triplets)
+
+	// Shrink to a trimmed suffix: the stale cache must not leak through.
+	trimmed := &position.Sequence{Device: "d", Records: s.Records[100:]}
+	got = inc.Annotate(trimmed, 0)
+	want = a.Annotate(trimmed)
+	assertSameAnnotation(t, 0, 1, got.Triplets, want.Triplets)
+
+	inc.Reset()
+	got = inc.Annotate(s, 0)
+	want = a.Annotate(s)
+	assertSameAnnotation(t, 0, 2, got.Triplets, want.Triplets)
+}

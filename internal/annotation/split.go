@@ -19,6 +19,7 @@
 package annotation
 
 import (
+	"sort"
 	"time"
 
 	"trips/internal/position"
@@ -79,6 +80,15 @@ func (sn Snippet) Duration() time.Duration {
 	return sn.Records[len(sn.Records)-1].At.Sub(sn.Records[0].At)
 }
 
+// resolved applies Split's fallback rule: an unusable neighborhood
+// configuration selects the defaults wholesale.
+func (cfg SplitConfig) resolved() SplitConfig {
+	if cfg.EpsSpace <= 0 || cfg.MinPts <= 0 {
+		return DefaultSplitConfig()
+	}
+	return cfg
+}
+
 // Split performs the density-based spatio-temporal splitting of a cleaned
 // sequence into snippets.
 func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
@@ -86,9 +96,7 @@ func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
 	if n == 0 {
 		return nil
 	}
-	if cfg.EpsSpace <= 0 || cfg.MinPts <= 0 {
-		cfg = DefaultSplitConfig()
-	}
+	cfg = cfg.resolved()
 
 	dense := denseMask(s, cfg)
 	smooth(dense)
@@ -97,10 +105,7 @@ func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
 	var snippets []Snippet
 	start := 0
 	for i := 1; i < n; i++ {
-		cut := dense[i] != dense[i-1] ||
-			s.Records[i].Floor != s.Records[i-1].Floor ||
-			s.Records[i].At.Sub(s.Records[i-1].At) > cfg.MaxGap
-		if cut {
+		if cutAt(s, dense, cfg.MaxGap, i) {
 			snippets = append(snippets, makeSnippet(s, dense, start, i-1))
 			start = i
 		}
@@ -109,18 +114,45 @@ func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
 	return mergeTiny(s, snippets, cfg)
 }
 
+// cutAt reports whether the splitter cuts between records i-1 and i:
+// density class change, floor change, or a long time gap.
+func cutAt(s *position.Sequence, dense []bool, maxGap time.Duration, i int) bool {
+	return dense[i] != dense[i-1] ||
+		s.Records[i].Floor != s.Records[i-1].Floor ||
+		s.Records[i].At.Sub(s.Records[i-1].At) > maxGap
+}
+
 // denseMask marks each record that has at least MinPts spatio-temporal
 // neighbors. The scan window exploits time ordering: only records within
 // EpsTime can be neighbors.
 func denseMask(s *position.Sequence, cfg SplitConfig) []bool {
+	dense := make([]bool, s.Len())
+	denseMaskRange(s, cfg, dense, 0)
+	return dense
+}
+
+// denseMaskRange computes the density flags for records [from, n) into
+// dense (which spans the whole sequence): the windowed form the incremental
+// annotator uses to refresh only the flags a new suffix can have touched.
+// from == n is a valid empty window (an unchanged sequence re-annotated).
+func denseMaskRange(s *position.Sequence, cfg SplitConfig, dense []bool, from int) {
 	n := s.Len()
-	dense := make([]bool, n)
+	if from >= n {
+		return
+	}
 	lo := 0
-	for i := 0; i < n; i++ {
+	if from > 0 {
+		at := s.Records[from].At
+		lo = sort.Search(from, func(j int) bool {
+			return at.Sub(s.Records[j].At) <= cfg.EpsTime
+		})
+	}
+	for i := from; i < n; i++ {
 		ri := s.Records[i]
 		for ri.At.Sub(s.Records[lo].At) > cfg.EpsTime {
 			lo++
 		}
+		dense[i] = false
 		cnt := 0
 		for j := lo; j < n; j++ {
 			rj := s.Records[j]
@@ -136,7 +168,6 @@ func denseMask(s *position.Sequence, cfg SplitConfig) []bool {
 			}
 		}
 	}
-	return dense
 }
 
 // smooth applies a 3-wide majority filter to suppress single-record flips.
@@ -153,6 +184,19 @@ func smooth(mask []bool) {
 		}
 		prev = cur
 	}
+}
+
+// smoothedAt is the indexwise form of smooth over the unfiltered flags: the
+// incremental annotator keeps raw and smoothed flags separate so it can
+// refresh a window without replaying the whole filter.
+func smoothedAt(raw []bool, i int) bool {
+	if i == 0 || i == len(raw)-1 {
+		return raw[i]
+	}
+	if raw[i-1] == raw[i+1] && raw[i] != raw[i-1] {
+		return raw[i-1]
+	}
+	return raw[i]
 }
 
 func makeSnippet(s *position.Sequence, dense []bool, first, last int) Snippet {

@@ -102,13 +102,35 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 	if out.Len() == 0 {
 		return out, rep
 	}
-	maxSpeed := c.MaxSpeed
-	if maxSpeed <= 0 {
-		maxSpeed = 3.0
+	c.cleanInto(out, c.maxSpeed(), &rep, nil)
+	return out, rep
+}
+
+// maxSpeed returns the effective speed constraint.
+func (c *Cleaner) maxSpeed() float64 {
+	if c.MaxSpeed <= 0 {
+		return 3.0
 	}
+	return c.MaxSpeed
+}
+
+// cleanInto iterates the snap → detect → repair sweep over out to its fixed
+// point (bounded by maxCleanPasses), appending repairs to rep. When inv is
+// non-nil it must have out.Len() entries; every index detected as a
+// speed-constraint violation in any pass is marked true — the precise
+// "this record's final value depended on repair anchoring" set that the
+// incremental CleanFrom uses to bound its stable prefix.
+//
+// A run that hits the pass cap mid-oscillation is still deterministic:
+// every run over the same records executes the identical passes, and an
+// oscillating segment whose anchors lie inside the sequence replays the
+// identical capped oscillation in any longer re-clean — which is why
+// CleanFrom's stability rules need the invalid marks but not the
+// convergence outcome.
+func (c *Cleaner) cleanInto(out *position.Sequence, maxSpeed float64, rep *Report, inv []bool) {
 	for pass := 0; pass < maxCleanPasses; pass++ {
 		start := len(rep.Changes)
-		c.cleanPass(out, maxSpeed, &rep, pass == 0)
+		c.cleanPass(out, maxSpeed, rep, pass == 0, inv)
 		moved := false
 		for _, ch := range rep.Changes[start:] {
 			if !ch.After.P.Eq(ch.Before.P) || ch.After.Floor != ch.Before.Floor {
@@ -117,10 +139,9 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 			}
 		}
 		if !moved {
-			break
+			return
 		}
 	}
-	return out, rep
 }
 
 // cleanPass runs one in-place snap → detect → floor-fix → interpolate
@@ -128,8 +149,9 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 // no-op interpolations (a suspect record re-derived to its own value) —
 // the online engine's invalid-run tracking needs those flagged — while
 // later sweeps record only records that actually moved, so converged
-// verification passes don't inflate the counters.
-func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Report, noops bool) {
+// verification passes don't inflate the counters. inv, when non-nil,
+// accumulates every index detected invalid this pass.
+func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Report, noops bool, inv []bool) {
 	// Step 0: snap every record into walkable space. Positioning noise
 	// routinely places points inside walls; all later geometry assumes
 	// walkable coordinates.
@@ -149,6 +171,7 @@ func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Repor
 	// Step 1: speed-constraint detection. valid[i] marks records that are
 	// consistent with the last valid anchor before them.
 	valid := c.detectValid(out, maxSpeed)
+	markInvalid(inv, valid)
 
 	// Step 2: floor value correction. A record rejected only because of a
 	// wrong floor becomes valid once its floor is replaced by a plausible
@@ -182,6 +205,7 @@ func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Repor
 		for i := range valid {
 			valid[i] = fresh[i]
 		}
+		markInvalid(inv, valid)
 	}
 
 	// Step 3: location interpolation for the remaining invalid runs.
@@ -263,6 +287,18 @@ func (c *Cleaner) tryFloorFix(s *position.Sequence, valid []bool, i int, maxSpee
 		}
 	}
 	return false, 0
+}
+
+// markInvalid accumulates the currently-invalid indexes into inv.
+func markInvalid(inv, valid []bool) {
+	if inv == nil {
+		return
+	}
+	for i, v := range valid {
+		if !v {
+			inv[i] = true
+		}
+	}
 }
 
 func prevValid(valid []bool, i int) int {

@@ -1,0 +1,159 @@
+package cleaning
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+	"trips/internal/position"
+	"trips/internal/testvenue"
+)
+
+// changeKeys renders a report's changes as a sorted multiset for
+// order-insensitive comparison: CleanFrom lists prefix repairs before
+// suffix repairs instead of interleaved by pass, and guarantees only set
+// equality.
+func changeKeys(rep Report) []string {
+	keys := make([]string, len(rep.Changes))
+	for i, ch := range rep.Changes {
+		keys[i] = fmt.Sprintf("%d/%s/%v/%v", ch.Index, ch.Kind, ch.Before, ch.After)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func assertSameClean(t *testing.T, step int, inc *position.Sequence, incRep Report, full *position.Sequence, fullRep Report) {
+	t.Helper()
+	if inc.Len() != full.Len() {
+		t.Fatalf("step %d: incremental len %d, full %d", step, inc.Len(), full.Len())
+	}
+	for i := range full.Records {
+		a, b := inc.Records[i], full.Records[i]
+		if a.P != b.P || a.Floor != b.Floor || !a.At.Equal(b.At) {
+			t.Fatalf("step %d: record %d differs:\nincremental: (%.17g, %.17g) floor %d\nfull:        (%.17g, %.17g) floor %d",
+				step, i, a.P.X, a.P.Y, a.Floor, b.P.X, b.P.Y, b.Floor)
+		}
+	}
+	if incRep.Total != fullRep.Total || incRep.Snapped != fullRep.Snapped ||
+		incRep.FloorFixed != fullRep.FloorFixed || incRep.Interpolated != fullRep.Interpolated {
+		t.Fatalf("step %d: report counts differ:\nincremental: %+v\nfull:        %+v", step, incRep, fullRep)
+	}
+	ik, fk := changeKeys(incRep), changeKeys(fullRep)
+	if len(ik) != len(fk) {
+		t.Fatalf("step %d: %d changes vs %d", step, len(ik), len(fk))
+	}
+	for i := range ik {
+		if ik[i] != fk[i] {
+			t.Fatalf("step %d: change sets differ at %d:\nincremental: %s\nfull:        %s", step, i, ik[i], fk[i])
+		}
+	}
+}
+
+// TestCleanFromMatchesClean drives randomized growing sequences — noisy
+// walks with teleport glitches, floor flips, and bounded out-of-order
+// inserts — through CleanFrom and asserts that after every growth step the
+// stitched output is identical to a from-scratch Clean of the same
+// sequence.
+func TestCleanFromMatchesClean(t *testing.T) {
+	m := testvenue.MustTwoFloor()
+	c := New(m)
+	for seed := uint32(1); seed <= 12; seed++ {
+		st := seed
+		next := func(mod uint32) uint32 {
+			st = st*1664525 + 1013904223
+			return (st >> 8) % mod
+		}
+		s := position.NewSequence("d")
+		var cs State
+		at := t0
+		x, y := 5.0, 5.0
+		// insertFloor trails the sequence end by a fixed lag, the way the
+		// online engine's seal frontier trails its watermark.
+		const lag = 40 * time.Second
+		floor := time.Time{}
+		for step := 0; step < 30; step++ {
+			burst := int(next(6)) + 1
+			for i := 0; i < burst; i++ {
+				// Mostly a noisy walk; sometimes a glitch.
+				x += float64(next(5)) - 2
+				y += float64(next(5)) - 2
+				p := geom.Pt(x, y)
+				fl := dsm.FloorID(1)
+				switch next(12) {
+				case 0:
+					p = geom.Pt(float64(next(45))-2, float64(next(24))-2) // teleport
+				case 1:
+					fl = 2 // floor flip
+				}
+				rt := at
+				if next(7) == 0 && !floor.IsZero() {
+					// Out-of-order insert, still after the admission floor.
+					back := time.Duration(next(uint32(lag/time.Second))) * time.Second
+					if cand := at.Add(-back); cand.After(floor) {
+						rt = cand
+					}
+				}
+				s.Append(position.Record{Device: "d", P: p, Floor: fl, At: rt})
+				at = at.Add(time.Duration(2+int(next(6))) * time.Second)
+			}
+			if s.End().Sub(t0) > lag {
+				floor = s.End().Add(-lag)
+			}
+			inc, incRep := c.CleanFrom(&cs, s, floor)
+			full, fullRep := c.Clean(s)
+			assertSameClean(t, step, inc, incRep, full, fullRep)
+			if cs.Stable() > 0 && cs.StableSince() > cs.Stable() {
+				t.Fatalf("step %d: StableSince %d > Stable %d", step, cs.StableSince(), cs.Stable())
+			}
+		}
+		if cs.Stable() == 0 {
+			t.Errorf("seed %d: stable prefix never advanced; the incremental path went untested", seed)
+		}
+	}
+}
+
+// TestCleanFromZeroFloor: with no admission guarantee every call must be a
+// full re-clean (stable prefix pinned at 0) and still match Clean.
+func TestCleanFromZeroFloor(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	s := position.NewSequence("d")
+	var cs State
+	for i := 0; i < 50; i++ {
+		s.Append(rec(float64(2+i%20), 5, 1, time.Duration(i)*5*time.Second))
+		inc, incRep := c.CleanFrom(&cs, s, time.Time{})
+		full, fullRep := c.Clean(s)
+		assertSameClean(t, i, inc, incRep, full, fullRep)
+		if cs.Stable() != 0 {
+			t.Fatalf("step %d: stable = %d with a zero insert floor", i, cs.Stable())
+		}
+	}
+}
+
+// TestCleanFromReset: a State reused after Reset (and one fed a shrunk
+// sequence, the trim case) recovers with a full re-clean.
+func TestCleanFromReset(t *testing.T) {
+	c := New(testvenue.MustTwoFloor())
+	var cs State
+	s := position.NewSequence("d")
+	for i := 0; i < 40; i++ {
+		s.Append(rec(float64(2+i%10), 5, 1, time.Duration(i)*5*time.Second))
+	}
+	c.CleanFrom(&cs, s, s.End())
+
+	// Shrink: a trimmed tail must fall back to a full clean, not stitch
+	// against stale indexes.
+	trimmed := &position.Sequence{Device: "d", Records: append([]position.Record(nil), s.Records[30:]...)}
+	inc, incRep := c.CleanFrom(&cs, trimmed, trimmed.End())
+	full, fullRep := c.Clean(trimmed)
+	assertSameClean(t, 0, inc, incRep, full, fullRep)
+
+	cs.Reset()
+	if cs.Stable() != 0 || cs.StableSince() != 0 {
+		t.Fatal("Reset left a stable prefix")
+	}
+	inc, incRep = c.CleanFrom(&cs, trimmed, trimmed.End())
+	assertSameClean(t, 1, inc, incRep, full, fullRep)
+}

@@ -1,0 +1,71 @@
+package online
+
+import (
+	"hash/fnv"
+	"io"
+	"testing"
+	"time"
+
+	"trips/internal/position"
+)
+
+// TestShardOfMatchesFNV locks the inlined FNV-1a to hash/fnv's New32a:
+// shard assignment must not change across the inlining.
+func TestShardOfMatchesFNV(t *testing.T) {
+	pl := testPipeline(t)
+	eng, err := NewEngine(pl, manualConfig(newCollect(), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, dev := range []position.DeviceID{"", "a", "dev-1", "AA:BB:CC:DD:EE:FF", "日本語", "x\x00y"} {
+		h := fnv.New32a()
+		io.WriteString(h, string(dev))
+		want := eng.shards[h.Sum32()%uint32(len(eng.shards))]
+		if got := eng.shardOf(dev); got != want {
+			t.Errorf("shardOf(%q) = shard %d, fnv.New32a says %d", dev, got.id, want.id)
+		}
+	}
+}
+
+// TestIngestRouteZeroAlloc is the hot-path guard: routing one record —
+// shardOf, the RLock, the channel send, and the shard-side drop of a late
+// record — must not allocate. The records are late on purpose so the
+// shard-side handling is deterministic O(1) work; admitted records
+// additionally pay (amortized) tail growth, which is the session's cost,
+// not the route's.
+func TestIngestRouteZeroAlloc(t *testing.T) {
+	pl := testPipeline(t)
+	g := lcg(3)
+	sink := newCollect()
+	cfg := manualConfig(sink, 2)
+	cfg.QueueLen = 4096
+	eng, err := NewEngine(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Seal something so a backdated record is dropped as late.
+	for _, r := range journey(&g, "dev-1", t0) {
+		if err := eng.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	if eng.Stats().TripletsOut == 0 {
+		t.Fatal("nothing sealed; the late-drop path needs a seal frontier")
+	}
+	late := position.Record{Device: "dev-1", At: t0.Add(-time.Hour)}
+	if avg := testing.AllocsPerRun(500, func() {
+		if err := eng.Ingest(late); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Ingest route path allocates %.1f times per record, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		eng.shardOf("AA:BB:CC:DD:EE:FF")
+	}); avg != 0 {
+		t.Errorf("shardOf allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -3,7 +3,6 @@ package online
 import (
 	"context"
 	"errors"
-	"hash/fnv"
 	"io"
 	"sync"
 	"time"
@@ -48,12 +47,24 @@ type shard struct {
 	sessions map[position.DeviceID]*session
 }
 
-// shardMsg is the shard inbox protocol: exactly one field is set.
+// shardMsg is the shard inbox protocol, discriminated by kind. Records
+// travel by value: the ingest route path must not allocate per record, and
+// boxing the record behind a pointer would put one heap allocation on every
+// ingested record.
 type shardMsg struct {
-	rec   *position.Record
+	kind  msgKind
+	rec   position.Record
 	query *queryMsg
 	flush chan struct{} // flush barrier: run a seal pass, then close
 }
+
+type msgKind uint8
+
+const (
+	msgRecord msgKind = iota
+	msgQuery
+	msgFlush
+)
 
 type queryMsg struct {
 	dev   position.DeviceID
@@ -115,12 +126,23 @@ func (e *Engine) annotatorFor(ss *session) *annotation.Annotator {
 	return &e.anTail
 }
 
+// shardOf routes a device to its shard by FNV-1a over the ID bytes,
+// inlined: hash.Hash32 plus io.WriteString on this path cost two heap
+// allocations per ingested record. The constants and fold order match
+// hash/fnv's New32a exactly, so shard assignment is unchanged.
 func (e *Engine) shardOf(dev position.DeviceID) *shard {
-	h := fnv.New32a()
-	io.WriteString(h, string(dev))
-	// Unsigned modulo: int(Sum32()) goes negative for half the hash
-	// space on 32-bit ints, and a negative index panics.
-	return e.shards[h.Sum32()%uint32(len(e.shards))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(dev); i++ {
+		h ^= uint32(dev[i])
+		h *= prime32
+	}
+	// Unsigned modulo: int(h) goes negative for half the hash space on
+	// 32-bit ints, and a negative index panics.
+	return e.shards[h%uint32(len(e.shards))]
 }
 
 func (e *Engine) send(em Emission) {
@@ -136,7 +158,7 @@ func (e *Engine) Ingest(r position.Record) error {
 	if e.closed {
 		return ErrClosed
 	}
-	e.shardOf(r.Device).ch <- shardMsg{rec: &r}
+	e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r}
 	return nil
 }
 
@@ -185,7 +207,7 @@ func (e *Engine) Flush() {
 	barriers := make([]chan struct{}, len(e.shards))
 	for i, sh := range e.shards {
 		barriers[i] = make(chan struct{})
-		sh.ch <- shardMsg{flush: barriers[i]}
+		sh.ch <- shardMsg{kind: msgFlush, flush: barriers[i]}
 	}
 	e.mu.RUnlock()
 	for _, b := range barriers {
@@ -236,7 +258,7 @@ func (e *Engine) Snapshot(dev position.DeviceID) (Snapshot, bool) {
 		return Snapshot{}, false
 	}
 	q := &queryMsg{dev: dev, reply: make(chan Snapshot, 1)}
-	e.shardOf(dev).ch <- shardMsg{query: q}
+	e.shardOf(dev).ch <- shardMsg{kind: msgQuery, query: q}
 	e.mu.RUnlock()
 	snap := <-q.reply
 	return snap, snap.Device != ""
@@ -263,12 +285,12 @@ func (e *Engine) runShard(sh *shard) {
 				}
 				return
 			}
-			switch {
-			case m.rec != nil:
-				sh.ingest(e, *m.rec)
-			case m.query != nil:
+			switch m.kind {
+			case msgRecord:
+				sh.ingest(e, m.rec)
+			case msgQuery:
 				m.query.reply <- sh.snapshot(e, m.query.dev)
-			case m.flush != nil:
+			case msgFlush:
 				for _, ss := range sh.sessions {
 					if ss.pending > 0 {
 						ss.flush(e, false)

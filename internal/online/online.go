@@ -143,6 +143,12 @@ type Config struct {
 
 	// Emitter receives every finalized triplet. Required.
 	Emitter Emitter
+
+	// fullRecompute disables the sessions' incremental clean+annotate
+	// caches, recomputing the whole tail on every flush — the shadow path
+	// the differential tests lock the incremental path against. Package-
+	// internal: it exists to prove equivalence, not to be configured.
+	fullRecompute bool
 }
 
 func (c *Config) applyDefaults(horizon time.Duration) {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"trips/internal/annotation"
 	"trips/internal/cleaning"
 	"trips/internal/position"
 	"trips/internal/semantics"
@@ -57,6 +58,15 @@ type session struct {
 	// lastArrival is the wall-clock time of the last ingested record,
 	// for the idle timeout.
 	lastArrival time.Time
+
+	// clean and ann are the incremental recompute caches: the cleaning
+	// layer's stable-prefix state and the annotator's staged caches. They
+	// make flush cost proportional to the tail's unstable suffix instead
+	// of the whole tail, and they reset whenever the tail epoch changes
+	// (trim, force-seal, seal-all) — the trimmed suffix recomputes from
+	// scratch once and caches from there.
+	clean cleaning.State
+	ann   *annotation.Incremental
 }
 
 func newSession(dev position.DeviceID) *session {
@@ -64,18 +74,76 @@ func newSession(dev position.DeviceID) *session {
 }
 
 // ingest buffers one record, dropping it as late when it cannot be
-// admitted without touching sealed output.
+// admitted without touching sealed output. The drop predicate IS the
+// admission floor: admitting anything the floor rejects would let an
+// out-of-order record land inside the cleaning cache's stable prefix.
 func (ss *session) ingest(e *Engine, r position.Record) bool {
-	if !ss.sealedThrough.IsZero() && !r.At.After(ss.sealedThrough.Add(e.horizon)) {
-		return false
-	}
-	if !ss.frozenThrough.IsZero() && !r.At.After(ss.frozenThrough.Add(e.freezeGap)) {
+	if floor := ss.admissionFloor(e); !floor.IsZero() && !r.At.After(floor) {
 		return false
 	}
 	ss.tail.Append(r)
 	ss.pending++
 	ss.lastArrival = e.now()
 	return true
+}
+
+// admissionFloor is the earliest instant a future record of this session
+// can carry: ingest drops anything at or before both lateness frontiers, so
+// records at or before the floor can never be displaced by an out-of-order
+// arrival — the insert-safety guarantee the incremental cleaning cache
+// keys on. Zero while nothing has sealed or frozen.
+func (ss *session) admissionFloor(e *Engine) time.Time {
+	var floor time.Time
+	if !ss.sealedThrough.IsZero() {
+		floor = ss.sealedThrough.Add(e.horizon)
+	}
+	if !ss.frozenThrough.IsZero() {
+		if f := ss.frozenThrough.Add(e.freezeGap); f.After(floor) {
+			floor = f
+		}
+	}
+	return floor
+}
+
+// translateTail runs clean+annotate over the tail: incrementally through
+// the session's caches — re-cleaning from the last stable anchor and
+// re-annotating the unstable suffix window — or from scratch when the
+// engine's differential-shadow knob disables the caches.
+func (ss *session) translateTail(e *Engine) (cleaning.Report, *semantics.Sequence) {
+	if e.cfg.fullRecompute {
+		cleaned, rep := e.pl.Cleaner.Clean(ss.tail)
+		return rep, e.annotatorFor(ss).Annotate(cleaned)
+	}
+	cleaned, rep := e.pl.Cleaner.CleanFrom(&ss.clean, ss.tail, ss.admissionFloor(e))
+	if ss.ann == nil {
+		ss.ann = e.annotatorFor(ss).NewIncremental()
+	}
+	return rep, ss.ann.Annotate(cleaned, ss.clean.StableSince())
+}
+
+// resetTranslation invalidates the incremental caches; the next flush
+// recomputes the (new) tail from scratch. Called on every tail epoch
+// change, because the caches are keyed by record index into the tail.
+func (ss *session) resetTranslation() {
+	ss.clean.Reset()
+	ss.ann = nil
+}
+
+// restartTail begins a new tail epoch: consumed records leave the tail
+// (they fold into base so emitted indexes keep matching the batch
+// Translator's), rest becomes the new tail (nil for an empty one), and the
+// index-keyed incremental caches invalidate. Tail replacement and cache
+// reset must never separate — a stale stable prefix applied to a different
+// record array would silently corrupt output.
+func (ss *session) restartTail(rest []position.Record, consumed int) {
+	ss.base += consumed
+	if rest == nil {
+		ss.tail = position.NewSequence(ss.dev)
+	} else {
+		ss.tail = &position.Sequence{Device: ss.dev, Records: rest}
+	}
+	ss.emittedInTail = 0
+	ss.resetTranslation()
 }
 
 // flush recomputes clean+annotate over the tail and emits every newly
@@ -89,8 +157,13 @@ func (ss *session) flush(e *Engine, sealAll bool) {
 	}
 	e.stats.Flushes.Add(1)
 
-	cleaned, rep := e.pl.Cleaner.Clean(ss.tail)
-	sem := e.annotatorFor(ss).Annotate(cleaned)
+	rep, sem := ss.translateTail(e)
+	if ss.clean.StableSince() > 0 {
+		// This flush re-cleaned only from the stable anchor forward. The
+		// counter lives here rather than in translateTail so provisional
+		// snapshot queries don't inflate the flush cache-hit rate.
+		e.stats.IncrementalFlushes.Add(1)
+	}
 	watermark := ss.tail.End()
 
 	// Trailing invalid run: cleaned values there still depend on a future
@@ -133,9 +206,7 @@ func (ss *session) flush(e *Engine, sealAll bool) {
 	ss.emittedInTail += n
 
 	if sealAll {
-		ss.base += ss.tail.Len()
-		ss.tail = position.NewSequence(ss.dev)
-		ss.emittedInTail = 0
+		ss.restartTail(nil, ss.tail.Len())
 		return
 	}
 	ss.maybeTrim(e, sem, invalid)
@@ -195,9 +266,7 @@ func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int
 	if b == ss.tail.Len() {
 		// Everything in the tail is sealed; the next admitted record is
 		// beyond the horizon by the lateness rule, so this is a break.
-		ss.base += ss.tail.Len()
-		ss.tail = position.NewSequence(ss.dev)
-		ss.emittedInTail = 0
+		ss.restartTail(nil, ss.tail.Len())
 		e.stats.Trims.Add(1)
 		return
 	}
@@ -214,9 +283,7 @@ func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int
 	}
 	rest := make([]position.Record, ss.tail.Len()-b)
 	copy(rest, ss.tail.Records[b:])
-	ss.tail = &position.Sequence{Device: ss.dev, Records: rest}
-	ss.base += b
-	ss.emittedInTail = 0
+	ss.restartTail(rest, b)
 }
 
 // forceSeal bounds a tail that cannot seal naturally: it emits the
@@ -258,9 +325,7 @@ func (ss *session) forceSeal(e *Engine, sem *semantics.Sequence) {
 	}
 	rest := make([]position.Record, ss.tail.Len()-cut)
 	copy(rest, ss.tail.Records[cut:])
-	ss.tail = &position.Sequence{Device: ss.dev, Records: rest}
-	ss.base += cut
-	ss.emittedInTail = 0
+	ss.restartTail(rest, cut)
 	e.stats.ForcedSeals.Add(1)
 }
 
@@ -270,8 +335,7 @@ func (ss *session) provisional(e *Engine) []semantics.Triplet {
 	if ss.tail.Len() == 0 {
 		return nil
 	}
-	cleaned, _ := e.pl.Cleaner.Clean(ss.tail)
-	sem := e.annotatorFor(ss).Annotate(cleaned)
+	_, sem := ss.translateTail(e)
 	if ss.emittedInTail >= len(sem.Triplets) {
 		return nil
 	}

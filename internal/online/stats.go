@@ -5,16 +5,17 @@ import "sync/atomic"
 // engineStats are the engine's lifetime counters, updated from shard
 // goroutines.
 type engineStats struct {
-	Records       atomic.Int64
-	Late          atomic.Int64
-	Triplets      atomic.Int64
-	Inferred      atomic.Int64
-	Flushes       atomic.Int64
-	Trims         atomic.Int64
-	ForcedTrims   atomic.Int64
-	ForcedSeals   atomic.Int64
-	IdleFinalized atomic.Int64
-	Sessions      atomic.Int64
+	Records            atomic.Int64
+	Late               atomic.Int64
+	Triplets           atomic.Int64
+	Inferred           atomic.Int64
+	Flushes            atomic.Int64
+	IncrementalFlushes atomic.Int64
+	Trims              atomic.Int64
+	ForcedTrims        atomic.Int64
+	ForcedSeals        atomic.Int64
+	IdleFinalized      atomic.Int64
+	Sessions           atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the engine's counters and per-shard
@@ -28,13 +29,16 @@ type Stats struct {
 	TripletsOut int64 `json:"tripletsOut"`
 	Inferred    int64 `json:"inferred"`
 	// Flushes, Trims, ForcedTrims, IdleFinalized count session
-	// maintenance events. ForcedSeals counts MaxTail horizon seals of
-	// sessions that never sealed naturally (stationary devices).
-	Flushes       int64 `json:"flushes"`
-	Trims         int64 `json:"trims"`
-	ForcedTrims   int64 `json:"forcedTrims"`
-	ForcedSeals   int64 `json:"forcedSeals"`
-	IdleFinalized int64 `json:"idleFinalized"`
+	// maintenance events. IncrementalFlushes counts the recomputes that
+	// reused a stable cleaned prefix instead of re-translating the whole
+	// tail. ForcedSeals counts MaxTail horizon seals of sessions that
+	// never sealed naturally (stationary devices).
+	Flushes            int64 `json:"flushes"`
+	IncrementalFlushes int64 `json:"incrementalFlushes"`
+	Trims              int64 `json:"trims"`
+	ForcedTrims        int64 `json:"forcedTrims"`
+	ForcedSeals        int64 `json:"forcedSeals"`
+	IdleFinalized      int64 `json:"idleFinalized"`
 	// Sessions is the number of devices ever seen.
 	Sessions int64 `json:"sessions"`
 	// KnowledgeObservations is the size of the shared mobility knowledge.
@@ -53,6 +57,7 @@ func (e *Engine) Stats() Stats {
 		TripletsOut:           e.stats.Triplets.Load(),
 		Inferred:              e.stats.Inferred.Load(),
 		Flushes:               e.stats.Flushes.Load(),
+		IncrementalFlushes:    e.stats.IncrementalFlushes.Load(),
 		Trims:                 e.stats.Trims.Load(),
 		ForcedTrims:           e.stats.ForcedTrims.Load(),
 		ForcedSeals:           e.stats.ForcedSeals.Load(),

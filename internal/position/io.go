@@ -64,22 +64,25 @@ func ParseTime(s string) (time.Time, error) {
 	return t, nil
 }
 
-// ReadCSV parses records from CSV. The first row may be a header (detected
-// by a non-numeric x column). Malformed rows abort with a row-numbered
-// error: positioning logs are machine-written, so corruption indicates the
-// wrong file rather than a few bad rows.
-func ReadCSV(r io.Reader) (*Dataset, error) {
+// StreamCSV parses records from CSV and hands each to fn as soon as its
+// row parses, holding O(1) memory regardless of input size — the form the
+// server's ingest endpoint feeds straight into the online engine. It
+// returns the number of records delivered. The first row may be a header
+// (detected by a non-numeric x column). A malformed row or an fn error
+// stops the stream with a row-numbered error; records already delivered
+// stay delivered, and the count says how many.
+func StreamCSV(r io.Reader, fn func(Record) error) (int, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 5
-	ds := NewDataset()
-	row := 0
+	cr.ReuseRecord = true // parseCSVRow copies what it keeps
+	n, row := 0, 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return ds, nil
+			return n, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("position: csv row %d: %w", row+1, err)
+			return n, fmt.Errorf("position: csv row %d: %w", row+1, err)
 		}
 		row++
 		if row == 1 && !isNumeric(rec[1]) {
@@ -87,10 +90,27 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		}
 		pr, err := parseCSVRow(rec)
 		if err != nil {
-			return nil, fmt.Errorf("position: csv row %d: %w", row, err)
+			return n, fmt.Errorf("position: csv row %d: %w", row, err)
 		}
-		ds.Add(pr)
+		if err := fn(pr); err != nil {
+			return n, fmt.Errorf("position: csv row %d: %w", row, err)
+		}
+		n++
 	}
+}
+
+// ReadCSV parses records from CSV into a dataset. Malformed rows abort
+// with a row-numbered error: positioning logs are machine-written, so
+// corruption indicates the wrong file rather than a few bad rows.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	ds := NewDataset()
+	if _, err := StreamCSV(r, func(pr Record) error {
+		ds.Add(pr)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ds, nil
 }
 
 func isNumeric(s string) bool {
@@ -171,12 +191,15 @@ type jsonRecord struct {
 	Time   string  `json:"time"`
 }
 
-// ReadJSONL parses one JSON object per line.
-func ReadJSONL(r io.Reader) (*Dataset, error) {
+// StreamJSONL parses one JSON object per line, handing each record to fn
+// as soon as its line parses — the O(1)-memory counterpart of StreamCSV,
+// with the same error contract: a malformed line or an fn error stops the
+// stream with a line-numbered error and the count of records already
+// delivered.
+func StreamJSONL(r io.Reader, fn func(Record) error) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	ds := NewDataset()
-	line := 0
+	n, line := 0, 0
 	for sc.Scan() {
 		line++
 		raw := strings.TrimSpace(sc.Text())
@@ -185,24 +208,39 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 		}
 		var jr jsonRecord
 		if err := json.Unmarshal([]byte(raw), &jr); err != nil {
-			return nil, fmt.Errorf("position: jsonl line %d: %w", line, err)
+			return n, fmt.Errorf("position: jsonl line %d: %w", line, err)
 		}
 		// JSON cannot encode NaN/Inf literals, but keep the reader's
 		// contract identical to CSV: only finite coordinates pass.
 		if math.IsNaN(jr.X) || math.IsInf(jr.X, 0) || math.IsNaN(jr.Y) || math.IsInf(jr.Y, 0) {
-			return nil, fmt.Errorf("position: jsonl line %d: non-finite coordinates", line)
+			return n, fmt.Errorf("position: jsonl line %d: non-finite coordinates", line)
 		}
 		f, err := ParseFloor(jr.Floor)
 		if err != nil {
-			return nil, fmt.Errorf("position: jsonl line %d: %w", line, err)
+			return n, fmt.Errorf("position: jsonl line %d: %w", line, err)
 		}
 		at, err := ParseTime(jr.Time)
 		if err != nil {
-			return nil, fmt.Errorf("position: jsonl line %d: %w", line, err)
+			return n, fmt.Errorf("position: jsonl line %d: %w", line, err)
 		}
-		ds.Add(Record{Device: DeviceID(jr.Device), P: geom.Pt(jr.X, jr.Y), Floor: f, At: at})
+		if err := fn(Record{Device: DeviceID(jr.Device), P: geom.Pt(jr.X, jr.Y), Floor: f, At: at}); err != nil {
+			return n, fmt.Errorf("position: jsonl line %d: %w", line, err)
+		}
+		n++
 	}
 	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadJSONL parses one JSON object per line into a dataset.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	ds := NewDataset()
+	if _, err := StreamJSONL(r, func(pr Record) error {
+		ds.Add(pr)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return ds, nil

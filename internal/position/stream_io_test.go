@@ -1,0 +1,72 @@
+package position
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const streamCSVBody = `device,x,y,floor,time
+d1,1.0,2.0,1F,2017-01-01T10:00:00Z
+d2,3.5,4.5,B1,1483264800000
+d1,1.1,2.1,1F,2017-01-01T10:00:05Z
+`
+
+func TestStreamCSVDeliversInOrder(t *testing.T) {
+	var got []Record
+	n, err := StreamCSV(strings.NewReader(streamCSVBody), func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("StreamCSV = %d, %v; want 3, nil", n, err)
+	}
+	if got[0].Device != "d1" || got[1].Device != "d2" || got[1].Floor != -1 {
+		t.Errorf("unexpected records: %+v", got)
+	}
+	// Retained strings must survive the reader's buffer reuse.
+	if got[0].Device != "d1" || got[2].Device != "d1" {
+		t.Errorf("device strings corrupted by row reuse: %+v", got)
+	}
+}
+
+func TestStreamCSVErrorAccounting(t *testing.T) {
+	bad := "d1,1.0,2.0,1F,2017-01-01T10:00:00Z\nd2,not-a-number,2,1F,2017-01-01T10:00:05Z\n"
+	n, err := StreamCSV(strings.NewReader(bad), func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Fatalf("err = %v, want row-2 error", err)
+	}
+	if n != 1 {
+		t.Errorf("delivered %d records before the error, want 1", n)
+	}
+}
+
+func TestStreamCSVCallbackErrorStops(t *testing.T) {
+	sentinel := errors.New("sink full")
+	calls := 0
+	n, err := StreamCSV(strings.NewReader(streamCSVBody), func(Record) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the callback's", err)
+	}
+	if n != 1 || calls != 2 {
+		t.Errorf("n = %d calls = %d, want 1 delivered and the stream stopped at call 2", n, calls)
+	}
+}
+
+func TestStreamJSONLErrorAccounting(t *testing.T) {
+	body := `{"device":"d1","x":1,"y":2,"floor":"1F","time":"2017-01-01T10:00:00Z"}
+{"device":"d2","x":1,"y":2,"floor":"??","time":"2017-01-01T10:00:05Z"}`
+	n, err := StreamJSONL(strings.NewReader(body), func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 error", err)
+	}
+	if n != 1 {
+		t.Errorf("delivered %d records before the error, want 1", n)
+	}
+}
