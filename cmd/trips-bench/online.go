@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -40,12 +42,27 @@ type onlineBenchResult struct {
 	TripsPerS float64 `json:"trips_per_s"`
 }
 
-// onlineBenchFile is the BENCH_online.json schema.
+// onlineBenchFile is the BENCH_online.json schema. The run metadata —
+// commit, GOMAXPROCS, wall-clock timestamp — makes two artifacts
+// comparable: a regression diff is only meaningful when the commits and
+// the parallelism that produced the numbers are known.
 type onlineBenchFile struct {
 	Suite      string              `json:"suite"`
 	Go         string              `json:"go"`
 	Cpus       int                 `json:"cpus"`
+	Gomaxprocs int                 `json:"gomaxprocs"`
+	Commit     string              `json:"commit,omitempty"`
+	Timestamp  string              `json:"timestamp"`
 	Benchmarks []onlineBenchResult `json:"benchmarks"`
+}
+
+// benchCommit resolves the commit the numbers describe: git first, the CI
+// environment as fallback for builds from an exported tree.
+func benchCommit() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return os.Getenv("GITHUB_SHA")
 }
 
 // runOnlineBench measures the workloads and writes outPath.
@@ -58,7 +75,14 @@ func runOnlineBench(outPath string) error {
 		return err
 	}
 
-	file := onlineBenchFile{Suite: "online", Go: runtime.Version(), Cpus: runtime.NumCPU()}
+	file := onlineBenchFile{
+		Suite:      "online",
+		Go:         runtime.Version(),
+		Cpus:       runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Commit:     benchCommit(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
 	for _, n := range []int{1000, 8000} {
 		recs := experiments.LongSessionRecords(env, "long", n)
 		file.Benchmarks = append(file.Benchmarks,

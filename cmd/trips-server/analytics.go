@@ -53,12 +53,16 @@ type analyticsTee struct {
 }
 
 // teedEvent is one buffered delivery: an emission, or a departure signal
-// when leave is set.
+// when leave is set. arrivedAt carries the emission's ingest-arrival stamp
+// so the freshness metric observes at fold time — the instant the triplet
+// became analytics-visible — even for deliveries that buffered across a
+// rebuild.
 type teedEvent struct {
-	dev   position.DeviceID
-	tr    semantics.Triplet
-	at    time.Time
-	leave bool
+	dev       position.DeviceID
+	tr        semantics.Triplet
+	at        time.Time
+	arrivedAt time.Time
+	leave     bool
 }
 
 // deliver folds the event into the current engine under the read lock, or
@@ -83,14 +87,24 @@ func (t *analyticsTee) deliver(ev teedEvent) {
 func (t *analyticsTee) apply(a *analytics.Engine, ev teedEvent) {
 	if ev.leave {
 		a.DeviceLeft(ev.dev, ev.at)
-	} else {
-		a.Ingest(ev.dev, ev.tr)
+		return
+	}
+	a.Ingest(ev.dev, ev.tr)
+	t.observeFreshness(ev)
+}
+
+// observeFreshness closes the ingest→analytics-visible loop for one folded
+// emission. Emissions without an arrival stamp (close or idle finalization
+// flushes) are skipped.
+func (t *analyticsTee) observeFreshness(ev teedEvent) {
+	if m := t.s.obs.analytics; m != nil && !ev.arrivedAt.IsZero() {
+		m.Freshness.ObserveSince(ev.arrivedAt)
 	}
 }
 
 // Emit implements online.Emitter.
 func (t *analyticsTee) Emit(em online.Emission) {
-	t.deliver(teedEvent{dev: em.Device, tr: em.Triplet})
+	t.deliver(teedEvent{dev: em.Device, tr: em.Triplet, arrivedAt: em.ArrivedAt})
 }
 
 // FinalizeSession implements online.SessionFinalizer: idle-evicted devices
@@ -128,8 +142,11 @@ func (s *server) rebuildAnalytics() (*analytics.Engine, error) {
 			target.DeviceLeft(ev.dev, ev.at)
 		} else {
 			// IngestReplay: a buffered emission the bootstrap already
-			// replayed from the warehouse is overlap, not backfill.
+			// replayed from the warehouse is overlap, not backfill. The
+			// drain is when it became visible, so freshness observes here
+			// (rebuild stall included, by design).
 			target.IngestReplay(ev.dev, ev.tr)
+			s.tee.observeFreshness(ev)
 		}
 	}
 	s.tee.buf, s.tee.buffering = nil, false

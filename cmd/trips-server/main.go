@@ -36,8 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"html/template"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"sort"
 	"strconv"
@@ -52,6 +53,7 @@ import (
 	"trips/internal/core"
 	"trips/internal/dsm"
 	"trips/internal/events"
+	"trips/internal/obs"
 	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
@@ -82,29 +84,45 @@ type server struct {
 	// Both are zero when snapshots are disabled.
 	anOpts   analytics.StoreOptions
 	stopSnap func() error
+
+	// obs is the metrics registry and per-layer instruments behind
+	// GET /metrics; anCache amortizes the merged analytics snapshot the
+	// gauge bridges read; rebuildWarned latches the rebuild-recommended
+	// warning so the watcher logs each episode once.
+	obs           *serverObs
+	anCache       anStatsCache
+	rebuildWarned atomic.Bool
 }
 
 // analytics returns the current analytics engine.
 func (s *server) analytics() *analytics.Engine { return s.an.Load() }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("trips-server: ")
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8765", "listen address")
-		demo       = flag.Bool("demo", false, "self-generate a demo mall dataset")
-		dsmPath    = flag.String("dsm", "", "DSM JSON path")
-		dataPath   = flag.String("data", "", "positioning dataset")
-		eventsPath = flag.String("events", "", "Event Editor state")
-		storeDir   = flag.String("store", "", "warehouse directory (empty = in-memory only)")
-		anDir      = flag.String("analytics-store", "", "analytics view-snapshot directory (empty = rebuild views at every boot)")
-		anInterval = flag.Duration("analytics-snapshot", time.Minute, "interval between periodic analytics snapshots (with -analytics-store)")
+		addr        = flag.String("addr", "127.0.0.1:8765", "listen address")
+		demo        = flag.Bool("demo", false, "self-generate a demo mall dataset")
+		dsmPath     = flag.String("dsm", "", "DSM JSON path")
+		dataPath    = flag.String("data", "", "positioning dataset")
+		eventsPath  = flag.String("events", "", "Event Editor state")
+		storeDir    = flag.String("store", "", "warehouse directory (empty = in-memory only)")
+		anDir       = flag.String("analytics-store", "", "analytics view-snapshot directory (empty = rebuild views at every boot)")
+		anInterval  = flag.Duration("analytics-snapshot", time.Minute, "interval between periodic analytics snapshots (with -analytics-store)")
+		debugAddr   = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
+		autoRebuild = flag.Bool("auto-rebuild", false, "rebuild the analytics views automatically when they drop a backfill")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value text")
 	)
 	flag.Parse()
 
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	slog.SetDefault(slog.New(handler))
+
 	s, err := load(*demo, *dsmPath, *dataPath, *eventsPath, *storeDir, *anDir)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("startup failed", "error", err)
+		os.Exit(1)
 	}
 	if s.anOpts.Store != nil {
 		// The indirection over s.analytics keeps the writer on the live
@@ -120,21 +138,33 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *debugAddr != "" {
+		go func() {
+			slog.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux()); err != nil {
+				slog.Error("pprof server failed", "error", err)
+			}
+		}()
+	}
+	// The watcher warns when the views drop a backfill and — with
+	// -auto-rebuild — triggers the rebuild path itself.
+	go s.watchRebuild(ctx.Done(), 15*time.Second, *autoRebuild)
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d devices on http://%s/", len(s.devices), *addr)
+		slog.Info("serving", "devices", len(s.devices), "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		slog.Error("server failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	slog.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Print(err)
+		slog.Error("shutdown", "error", err)
 	}
 	s.engine.Close() // seal and emit every open session (flushes the warehouse log)
 	if s.stopSnap != nil {
@@ -142,16 +172,18 @@ func main() {
 		// persists cover the shutdown-sealed triplets, before the warehouse
 		// close so the Sync flush still works.
 		if err := s.stopSnap(); err != nil {
-			log.Print(err)
+			slog.Error("final analytics snapshot", "error", err)
 		}
 	}
 	if err := s.wh.Close(); err != nil {
-		log.Print(err)
+		slog.Error("warehouse close", "error", err)
 	}
 }
 
-// mux wires all routes: the batch Viewer pages plus the online endpoints.
-func (s *server) mux() *http.ServeMux {
+// mux wires all routes — the batch Viewer pages, the online endpoints, and
+// the observability endpoints — behind the request middleware that feeds
+// the HTTP metrics and the structured access log.
+func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/device/", s.handleDevice)
@@ -169,7 +201,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/analytics/dwell/", s.handleDwell)
 	mux.HandleFunc("/analytics/topk", s.handleTopK)
 	mux.HandleFunc("/analytics/subscribe", s.handleSubscribe)
-	return mux
+	mux.Handle("/metrics", s.obs.reg.Handler())
+	mux.Handle("/healthz", obs.HealthHandler())
+	mux.Handle("/readyz", obs.ReadyHandler(s.obs.ready.Load))
+	return obs.Middleware(s.obs.http, slog.Default(), mux)
 }
 
 func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir string) (*server, error) {
@@ -221,6 +256,10 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 	if err != nil {
 		return nil, err
 	}
+	// The observability registry exists before the subsystems so their
+	// constructors can take the per-layer instrument bundles.
+	so := newServerObs()
+
 	// The warehouse stores every translated trip behind both engines;
 	// with -store it persists across restarts (segment log + snapshot).
 	var wh *tripstore.Warehouse
@@ -229,10 +268,10 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 		if err != nil {
 			return nil, err
 		}
-		if wh, err = tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}}); err != nil {
+		if wh, err = tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}, Metrics: so.store}); err != nil {
 			return nil, err
 		}
-	} else if wh, err = tripstore.New(tripstore.Options{}); err != nil {
+	} else if wh, err = tripstore.New(tripstore.Options{Metrics: so.store}); err != nil {
 		return nil, err
 	}
 
@@ -241,6 +280,7 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 		results: make(map[position.DeviceID]core.Result),
 		truths:  truths,
 		wh:      wh,
+		obs:     so,
 	}
 	results, err := tr.TranslateTo(ds, wh)
 	if err != nil {
@@ -259,10 +299,10 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 	// view snapshot loads first and the bootstrap replays only the
 	// warehouse tail past its fold frontiers: boot cost O(tail), not
 	// O(stored trips).
-	an := analytics.New(analytics.Config{})
+	an := analytics.New(analytics.Config{Metrics: so.analytics})
 	if analyticsDir != "" {
 		if storeDir == "" {
-			log.Print("warning: -analytics-store without -store: snapshots may cover trips a restart cannot replay")
+			slog.Warn("-analytics-store without -store: snapshots may cover trips a restart cannot replay")
 		}
 		anStore, err := storage.Open(analyticsDir)
 		if err != nil {
@@ -273,9 +313,9 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 			if !errors.Is(err, analytics.ErrIncompatibleSnapshot) {
 				return nil, err
 			}
-			log.Printf("ignoring analytics snapshot: %v", err)
+			slog.Warn("ignoring analytics snapshot", "error", err)
 		} else if ok {
-			log.Print("analytics views loaded from snapshot; replaying warehouse tail")
+			slog.Info("analytics views loaded from snapshot; replaying warehouse tail")
 		}
 	}
 	if err := an.Bootstrap(wh); err != nil {
@@ -291,10 +331,15 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 	// reclaim (MAC-randomized device churn would grow it forever). Sealed
 	// emissions tee through the analytics views on their way in; the tee
 	// is an indirection over s.an so a rebuild can swap engines under it.
-	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(s.tee)})
+	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(s.tee), Metrics: so.online})
 	if err != nil {
 		return nil, err
 	}
+	// Everything the query surface depends on exists now: dataset
+	// translated, warehouse replayed, views bootstrapped, engines running.
+	// Register the pull-time metric bridges over them and open /readyz.
+	s.registerBridges()
+	so.ready.Store(true)
 	return s, nil
 }
 
@@ -310,7 +355,11 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
 	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	// The per-record closure stays bare: request-level accounting happens
+	// once below, keeping the record route at zero added allocations (the
+	// engine's AllocsPerRun test guards the rest of the path).
 	ingest := func(rec position.Record) error { return s.engine.Ingest(rec) }
 	var (
 		n   int
@@ -321,7 +370,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	} else {
 		n, err = position.StreamCSV(body, ingest)
 	}
+	s.obs.ingestRecords.Add(int64(n))
+	s.obs.ingestSeconds.ObserveSince(start)
 	if err != nil {
+		s.obs.ingestErrors.Inc()
 		code := http.StatusBadRequest
 		if errors.Is(err, online.ErrClosed) {
 			code = http.StatusServiceUnavailable
@@ -556,7 +608,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			res.Final.Len(), res.Inserted, res.Conciseness.RecordsPerTriplet})
 	}
 	if err := indexTmpl.Execute(w, map[string]interface{}{"Rows": rows}); err != nil {
-		log.Print(err)
+		slog.Error("render index", "error", err)
 	}
 }
 
@@ -649,6 +701,6 @@ func (s *server) handleDevice(w http.ResponseWriter, r *http.Request) {
 		"SemText":     res.Final.String(),
 	}
 	if err := deviceTmpl.Execute(w, data); err != nil {
-		log.Print(err)
+		slog.Error("render device view", "error", err, "device", dev)
 	}
 }

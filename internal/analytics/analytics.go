@@ -78,6 +78,11 @@ type Config struct {
 	// SubscriberBuffer is the per-subscriber delta channel depth before a
 	// slow consumer is evicted. Default 64.
 	SubscriberBuffer int
+
+	// Metrics receives fold-latency and freshness observations; nil
+	// disables them. Carried across Rebuild, so histograms accumulate over
+	// view generations.
+	Metrics *Metrics
 }
 
 func (c *Config) applyDefaults() {
@@ -221,6 +226,11 @@ func (e *Engine) IngestReplay(dev position.DeviceID, t semantics.Triplet) {
 }
 
 func (e *Engine) fold(dev position.DeviceID, t semantics.Triplet, replay bool) {
+	var start time.Time
+	if e.cfg.Metrics != nil {
+		start = time.Now()
+		defer func() { e.cfg.Metrics.FoldSeconds.ObserveSince(start) }()
+	}
 	sh := e.shardOf(dev)
 	sh.mu.Lock()
 	d := sh.devices[dev]
@@ -472,6 +482,11 @@ type teeEmitter struct {
 
 func (t *teeEmitter) Emit(em online.Emission) {
 	t.e.Ingest(em.Device, em.Triplet)
+	// The triplet is now visible in the views; the arrival stamp closes the
+	// ingest→visible freshness loop. Close/idle flushes emit without one.
+	if m := t.e.cfg.Metrics; m != nil && !em.ArrivedAt.IsZero() {
+		m.Freshness.ObserveSince(em.ArrivedAt)
+	}
 	if t.next != nil {
 		t.next.Emit(em)
 	}

@@ -1,0 +1,33 @@
+package analytics
+
+import "trips/internal/obs"
+
+// Metrics are the analytics engine's optional instruments. A nil *Metrics
+// in Config disables them; individual nil histograms are safe (a nil
+// histogram discards observations). The same *Metrics survives
+// Engine.Rebuild — the rebuilt engine copies its predecessor's Config — so
+// the histograms accumulate across view generations.
+type Metrics struct {
+	// FoldSeconds times each per-triplet view fold, delta publication
+	// included.
+	FoldSeconds *obs.Histogram
+	// Freshness is the pipeline's headline SLO: wall-clock time from a
+	// record's arrival at ingest to its sealed triplet becoming visible in
+	// the analytics views. Observed by the emitter tee from
+	// Emission.ArrivedAt; emissions without an arrival stamp (close or
+	// idle finalization flushes) are skipped.
+	Freshness *obs.Histogram
+}
+
+// NewMetrics registers the analytics histograms on r. Freshness uses the
+// wide obs.FreshnessBounds (100ms–30min): it is dominated by the seal
+// horizon and flush cadence, not by compute.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		FoldSeconds: r.Histogram("trips_analytics_fold_seconds",
+			"Per-triplet view fold latency, delta publication included.", nil),
+		Freshness: r.Histogram("trips_freshness_seconds",
+			"Ingest-to-analytics-visible freshness: record arrival to view fold of its sealed triplet.",
+			obs.FreshnessBounds),
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"trips/internal/obs"
 	"trips/internal/position"
 )
 
@@ -67,5 +68,60 @@ func TestIngestRouteZeroAlloc(t *testing.T) {
 		eng.shardOf("AA:BB:CC:DD:EE:FF")
 	}); avg != 0 {
 		t.Errorf("shardOf allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestIngestRouteZeroAllocInstrumented re-runs the hot-path guard with the
+// full observability stack enabled: stage-timing metrics on the engine and
+// a freshness-observing sink. Instrumentation lives at flush granularity,
+// so the per-record route must stay at zero allocations — this test is the
+// contract that keeps it there. (AllocsPerRun reads the global allocation
+// counter, so like the plain guard it measures the deterministic late-drop
+// route; admitted records trigger concurrent shard-side flush work whose
+// legitimate allocations would drown the signal.)
+func TestIngestRouteZeroAllocInstrumented(t *testing.T) {
+	pl := testPipeline(t)
+	g := lcg(9)
+	fresh := obs.NewRegistry().Histogram("test_freshness_seconds", "f", obs.FreshnessBounds)
+	sink := EmitterFunc(func(em Emission) {
+		if !em.ArrivedAt.IsZero() {
+			fresh.ObserveSince(em.ArrivedAt)
+		}
+	})
+	cfg := manualConfig(sink, 2)
+	cfg.QueueLen = 8192
+	cfg.Metrics = NewMetrics(obs.NewRegistry())
+	eng, err := NewEngine(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	recs := journey(&g, "dev-1", t0)
+	for _, r := range recs {
+		if err := eng.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	if eng.Stats().TripletsOut == 0 {
+		t.Fatal("nothing sealed; the late-drop path needs a seal frontier")
+	}
+	late := position.Record{Device: "dev-1", At: t0.Add(-time.Hour)}
+	if avg := testing.AllocsPerRun(500, func() {
+		if err := eng.Ingest(late); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("instrumented late-record route allocates %.1f times per record, want 0", avg)
+	}
+	// Stage histograms filled during the seal-inducing preamble, and every
+	// sealed emission carried an arrival stamp the sink turned into a
+	// freshness observation.
+	if cfg.Metrics.CleanSeconds.Count() == 0 || cfg.Metrics.AnnotateSeconds.Count() == 0 ||
+		cfg.Metrics.SealSeconds.Count() == 0 {
+		t.Error("flush-stage histograms saw no observations")
+	}
+	if fresh.Count() == 0 {
+		t.Error("freshness histogram saw no ArrivedAt-stamped emissions")
 	}
 }

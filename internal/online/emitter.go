@@ -22,6 +22,13 @@ type Emission struct {
 	// sealed; Watermark − Triplet.To is the sealing latency in event
 	// time.
 	Watermark time.Time `json:"watermark"`
+	// ArrivedAt is the wall-clock arrival of the oldest record that was
+	// pending at the flush that sealed this triplet; zero when that flush
+	// had no pending intake (close or idle finalization). time.Since of it
+	// at a sink approximates the pipeline's ingest→visible freshness. It
+	// is process-local context, not part of the durable record, so it is
+	// excluded from the JSON form.
+	ArrivedAt time.Time `json:"-"`
 }
 
 // Emitter is the engine's output sink. Emit is called from shard

@@ -1,0 +1,38 @@
+package online
+
+import "trips/internal/obs"
+
+// Metrics are the engine's optional flush-stage latency instruments. All
+// fields are nil-safe (a nil histogram discards observations), and a nil
+// *Metrics in Config disables the stage timing entirely — including the
+// time.Now calls around each stage — so the disabled engine runs exactly
+// the pre-instrumentation code path.
+//
+// The three stages partition a flush: "clean" is the incremental topology
+// cleaning pass, "annotate" the density split + learned annotation over the
+// unstable suffix, and "seal" everything after annotation — the seal-rule
+// scan, gap complementing, emission into the configured sink (so a slow
+// downstream Emitter shows up here, by design: that latency is on the
+// pipeline's critical path), and tail trimming. Provisional snapshot
+// queries run clean+annotate too but are never timed; the histograms
+// describe flushes only.
+type Metrics struct {
+	CleanSeconds    *obs.Histogram
+	AnnotateSeconds *obs.Histogram
+	SealSeconds     *obs.Histogram
+}
+
+// NewMetrics registers the flush-stage histograms on r as
+// trips_online_flush_stage_seconds{stage="clean"|"annotate"|"seal"}.
+func NewMetrics(r *obs.Registry) *Metrics {
+	const (
+		name = "trips_online_flush_stage_seconds"
+		help = "Per-flush wall-clock latency of each online translation stage; " +
+			"seal includes downstream emitter fan-out."
+	)
+	return &Metrics{
+		CleanSeconds:    r.Histogram(name, help, nil, "stage", "clean"),
+		AnnotateSeconds: r.Histogram(name, help, nil, "stage", "annotate"),
+		SealSeconds:     r.Histogram(name, help, nil, "stage", "seal"),
+	}
+}

@@ -144,6 +144,11 @@ type Config struct {
 	// Emitter receives every finalized triplet. Required.
 	Emitter Emitter
 
+	// Metrics receives flush-stage latency observations (see Metrics); nil
+	// disables stage timing entirely, leaving the flush path free of clock
+	// reads.
+	Metrics *Metrics
+
 	// fullRecompute disables the sessions' incremental clean+annotate
 	// caches, recomputing the whole tail on every flush — the shadow path
 	// the differential tests lock the incremental path against. Package-

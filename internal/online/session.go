@@ -59,6 +59,17 @@ type session struct {
 	// for the idle timeout.
 	lastArrival time.Time
 
+	// firstPending is the wall-clock arrival of the oldest record ingested
+	// since the last flush; zero while nothing is pending. It feeds the
+	// freshness metric without per-record bookkeeping: one IsZero check per
+	// ingest, reusing the clock read lastArrival already pays for.
+	firstPending time.Time
+
+	// emitArrival stamps Emission.ArrivedAt for every triplet emitted by
+	// the current flush: the firstPending value swapped in when the flush
+	// started. Downstream sinks turn it into ingest→visible latency.
+	emitArrival time.Time
+
 	// clean and ann are the incremental recompute caches: the cleaning
 	// layer's stable-prefix state and the annotator's staged caches. They
 	// make flush cost proportional to the tail's unstable suffix instead
@@ -84,6 +95,9 @@ func (ss *session) ingest(e *Engine, r position.Record) bool {
 	ss.tail.Append(r)
 	ss.pending++
 	ss.lastArrival = e.now()
+	if ss.firstPending.IsZero() {
+		ss.firstPending = ss.lastArrival
+	}
 	return true
 }
 
@@ -108,17 +122,31 @@ func (ss *session) admissionFloor(e *Engine) time.Time {
 // translateTail runs clean+annotate over the tail: incrementally through
 // the session's caches — re-cleaning from the last stable anchor and
 // re-annotating the unstable suffix window — or from scratch when the
-// engine's differential-shadow knob disables the caches.
-func (ss *session) translateTail(e *Engine) (cleaning.Report, *semantics.Sequence) {
+// engine's differential-shadow knob disables the caches. A non-nil m times
+// the two stages; flushes pass the engine's metrics, provisional snapshot
+// queries pass nil so the flush-stage histograms stay clean.
+func (ss *session) translateTail(e *Engine, m *Metrics) (cleaning.Report, *semantics.Sequence) {
 	if e.cfg.fullRecompute {
 		cleaned, rep := e.pl.Cleaner.Clean(ss.tail)
 		return rep, e.annotatorFor(ss).Annotate(cleaned)
 	}
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	cleaned, rep := e.pl.Cleaner.CleanFrom(&ss.clean, ss.tail, ss.admissionFloor(e))
+	if m != nil {
+		m.CleanSeconds.ObserveSince(t0)
+		t0 = time.Now()
+	}
 	if ss.ann == nil {
 		ss.ann = e.annotatorFor(ss).NewIncremental()
 	}
-	return rep, ss.ann.Annotate(cleaned, ss.clean.StableSince())
+	sem := ss.ann.Annotate(cleaned, ss.clean.StableSince())
+	if m != nil {
+		m.AnnotateSeconds.ObserveSince(t0)
+	}
+	return rep, sem
 }
 
 // resetTranslation invalidates the incremental caches; the next flush
@@ -152,17 +180,24 @@ func (ss *session) restartTail(rest []position.Record, consumed int) {
 // break.
 func (ss *session) flush(e *Engine, sealAll bool) {
 	ss.pending = 0
+	ss.emitArrival = ss.firstPending
+	ss.firstPending = time.Time{}
 	if ss.tail.Len() == 0 {
 		return
 	}
 	e.stats.Flushes.Add(1)
 
-	rep, sem := ss.translateTail(e)
+	m := e.cfg.Metrics
+	rep, sem := ss.translateTail(e, m)
 	if ss.clean.StableSince() > 0 {
 		// This flush re-cleaned only from the stable anchor forward. The
 		// counter lives here rather than in translateTail so provisional
 		// snapshot queries don't inflate the flush cache-hit rate.
 		e.stats.IncrementalFlushes.Add(1)
+	}
+	var sealStart time.Time
+	if m != nil {
+		sealStart = time.Now()
 	}
 	watermark := ss.tail.End()
 
@@ -207,9 +242,12 @@ func (ss *session) flush(e *Engine, sealAll bool) {
 
 	if sealAll {
 		ss.restartTail(nil, ss.tail.Len())
-		return
+	} else {
+		ss.maybeTrim(e, sem, invalid)
 	}
-	ss.maybeTrim(e, sem, invalid)
+	if m != nil {
+		m.SealSeconds.ObserveSince(sealStart)
+	}
 }
 
 // emit finalizes one triplet: complement the gap from the previously
@@ -220,7 +258,7 @@ func (ss *session) emit(e *Engine, t semantics.Triplet, watermark time.Time) {
 	t.LastIdx += ss.base
 	if ss.hasLast && e.pl.Complementor != nil {
 		for _, inf := range e.know.inferGap(e.pl.Complementor, ss.dev, ss.last, t) {
-			e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: inf, Watermark: watermark})
+			e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: inf, Watermark: watermark, ArrivedAt: ss.emitArrival})
 			ss.seq++
 			e.stats.Inferred.Add(1)
 		}
@@ -231,7 +269,7 @@ func (ss *session) emit(e *Engine, t semantics.Triplet, watermark time.Time) {
 		}
 		ss.lastKnow, ss.hasLastKnow = t, true
 	}
-	e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: t, Watermark: watermark})
+	e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: t, Watermark: watermark, ArrivedAt: ss.emitArrival})
 	ss.seq++
 	ss.last, ss.hasLast = t, true
 	if t.To.After(ss.sealedThrough) {
@@ -335,7 +373,7 @@ func (ss *session) provisional(e *Engine) []semantics.Triplet {
 	if ss.tail.Len() == 0 {
 		return nil
 	}
-	_, sem := ss.translateTail(e)
+	_, sem := ss.translateTail(e, nil)
 	if ss.emittedInTail >= len(sem.Triplets) {
 		return nil
 	}

@@ -61,6 +61,18 @@ type Page struct {
 // partition, else the region posting list, else the global interval index.
 // It never scans trips outside the chosen index's candidate span.
 func (w *Warehouse) Query(spec QuerySpec) (Page, error) {
+	var start time.Time
+	if w.metrics != nil {
+		start = time.Now()
+	}
+	page, err := w.query(spec)
+	if w.metrics != nil {
+		w.metrics.QuerySeconds.ObserveSince(start)
+	}
+	return page, err
+}
+
+func (w *Warehouse) query(spec QuerySpec) (Page, error) {
 	var after key
 	hasCursor := spec.Cursor != ""
 	if hasCursor {

@@ -90,6 +90,10 @@ type Options struct {
 	// Log enables the durability layer; nil keeps the warehouse
 	// memory-only.
 	Log *LogOptions
+
+	// Metrics receives segment-write, snapshot, and query latency
+	// observations; nil disables them.
+	Metrics *Metrics
 }
 
 // ErrClosed is returned by operations on a closed warehouse.
@@ -113,7 +117,8 @@ type Warehouse struct {
 	// (the engine outlived it) — zero in a correctly ordered shutdown.
 	droppedEmits int
 
-	log *segmentLog // nil = memory-only
+	log     *segmentLog // nil = memory-only
+	metrics *Metrics    // nil = uninstrumented
 	// inflight counts detached batches whose disk write is still running;
 	// Close waits for them so a failed write's requeued batch is retried
 	// by Close itself rather than stranded after a nil return.
@@ -124,9 +129,10 @@ type Warehouse struct {
 // log and replays the persisted state (snapshot, then remaining segments).
 func New(opts Options) (*Warehouse, error) {
 	w := &Warehouse{
-		parts: make(map[position.DeviceID]*partition),
-		byID:  make(map[string]*posting),
-		byTag: make(map[string]*posting),
+		parts:   make(map[position.DeviceID]*partition),
+		byID:    make(map[string]*posting),
+		byTag:   make(map[string]*posting),
+		metrics: opts.Metrics,
 	}
 	if opts.Log != nil {
 		log, err := openSegmentLog(*opts.Log)
@@ -190,7 +196,14 @@ func (w *Warehouse) Insert(t Trip) error {
 // requeueing it for retry on failure. The live-segment counter tracks
 // successful writes only, so abandoned segment numbers never inflate it.
 func (w *Warehouse) writeSegment(seq int, batch []Trip) error {
+	var start time.Time
+	if w.metrics != nil {
+		start = time.Now()
+	}
 	err := w.log.writeSegment(seq, batch)
+	if w.metrics != nil {
+		w.metrics.SegmentWriteSeconds.ObserveSince(start)
+	}
 	w.mu.Lock()
 	if err != nil {
 		w.log.requeue(batch)
@@ -374,7 +387,14 @@ func (w *Warehouse) Snapshot() error {
 			return err
 		}
 	}
+	var snapStart time.Time
+	if w.metrics != nil {
+		snapStart = time.Now()
+	}
 	deleted, err := w.log.writeSnapshot(covered, dump)
+	if w.metrics != nil {
+		w.metrics.SnapshotWriteSeconds.ObserveSince(snapStart)
+	}
 	if err != nil {
 		return err
 	}
