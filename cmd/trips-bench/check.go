@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The -check mode is the online-engine perf ratchet: compare a fresh
+// -online run against the committed BENCH_online.json and fail when a
+// long-session workload's ns/record regresses past the tolerance. The
+// long-session benchmarks are the ratcheted series because they are the
+// ones whose per-record cost must hold flat as the tail grows — a
+// regression there means the incremental flush path slipped back toward
+// O(tail) work. population-1h stays informational: its record mix shifts
+// with simulator changes, so it moves for non-perf reasons.
+
+// readOnlineBench loads a BENCH_online.json artifact.
+func readOnlineBench(path string) (*onlineBenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f onlineBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if f.Suite != "online" {
+		return nil, fmt.Errorf("%s is a %q artifact, want suite \"online\"", path, f.Suite)
+	}
+	return &f, nil
+}
+
+// isRatcheted reports whether a benchmark participates in the ratchet.
+func isRatcheted(name string) bool {
+	return len(name) >= len("long-session") && name[:len("long-session")] == "long-session"
+}
+
+// compareOnline gates current against baseline: every ratcheted baseline
+// workload must exist in the current run with ns_per_record no more than
+// (1+tol) times the committed number. Returns one message per violation.
+func compareOnline(baseline, current *onlineBenchFile, tol float64) []string {
+	cur := make(map[string]onlineBenchResult, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	var fails []string
+	ratcheted := 0
+	for _, base := range baseline.Benchmarks {
+		if !isRatcheted(base.Name) {
+			continue
+		}
+		ratcheted++
+		got, ok := cur[base.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from the current run — the ratchet cannot drop workloads", base.Name))
+			continue
+		}
+		ceil := base.NsPerRecord * (1 + tol)
+		if got.NsPerRecord > ceil {
+			fails = append(fails, fmt.Sprintf("%s: %.0f ns/record exceeds the ratchet %.0f (baseline %.0f +%.0f%%)",
+				base.Name, got.NsPerRecord, ceil, base.NsPerRecord, tol*100))
+		}
+	}
+	if ratcheted == 0 {
+		fails = append(fails, "baseline carries no long-session workloads; nothing to ratchet against")
+	}
+	return fails
+}

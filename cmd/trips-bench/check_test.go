@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchFile(longSession1k, longSession8k, population float64) *onlineBenchFile {
+	return &onlineBenchFile{
+		Suite: "online",
+		Benchmarks: []onlineBenchResult{
+			{Name: "long-session-1k", NsPerRecord: longSession1k},
+			{Name: "long-session-8k", NsPerRecord: longSession8k},
+			{Name: "population-1h", NsPerRecord: population},
+		},
+	}
+}
+
+// TestCompareOnlinePasses is the ratchet's green path: identical numbers
+// and in-tolerance drift both pass, and the informational population
+// workload may move freely.
+func TestCompareOnlinePasses(t *testing.T) {
+	base := benchFile(12000, 17000, 22000)
+	if fails := compareOnline(base, benchFile(12000, 17000, 22000), 0.15); len(fails) != 0 {
+		t.Fatalf("identical run failed the ratchet: %v", fails)
+	}
+	// 10% slower is inside the 15% ratchet; population 3x slower is
+	// not ratcheted at all.
+	if fails := compareOnline(base, benchFile(13200, 18700, 66000), 0.15); len(fails) != 0 {
+		t.Fatalf("in-tolerance run failed the ratchet: %v", fails)
+	}
+	// Getting faster always passes.
+	if fails := compareOnline(base, benchFile(8000, 9000, 10000), 0.15); len(fails) != 0 {
+		t.Fatalf("faster run failed the ratchet: %v", fails)
+	}
+}
+
+// TestCompareOnlineFailsOnRegression injects a >15% long-session
+// regression and demands the ratchet names the workload — the acceptance
+// criterion that -check demonstrably fails on a regressed artifact.
+func TestCompareOnlineFailsOnRegression(t *testing.T) {
+	base := benchFile(12000, 17000, 22000)
+	fails := compareOnline(base, benchFile(12000, 21000, 22000), 0.15) // 8k +23.5%
+	if len(fails) != 1 {
+		t.Fatalf("ratchet returned %d failures, want exactly the 8k regression: %v", len(fails), fails)
+	}
+	if !strings.Contains(fails[0], "long-session-8k") || !strings.Contains(fails[0], "ns/record") {
+		t.Errorf("failure does not name the regressed workload: %q", fails[0])
+	}
+}
+
+// TestCompareOnlineFailsOnMissingWorkload keeps the ratchet honest: a
+// current run that silently drops a ratcheted benchmark fails rather
+// than passing by omission.
+func TestCompareOnlineFailsOnMissingWorkload(t *testing.T) {
+	base := benchFile(12000, 17000, 22000)
+	current := &onlineBenchFile{Suite: "online", Benchmarks: []onlineBenchResult{
+		{Name: "long-session-1k", NsPerRecord: 12000},
+		{Name: "population-1h", NsPerRecord: 22000},
+	}}
+	fails := compareOnline(base, current, 0.15)
+	if len(fails) != 1 || !strings.Contains(fails[0], "long-session-8k") {
+		t.Fatalf("dropped workload not caught: %v", fails)
+	}
+	// And a baseline with nothing ratcheted is itself an error.
+	empty := &onlineBenchFile{Suite: "online", Benchmarks: []onlineBenchResult{
+		{Name: "population-1h", NsPerRecord: 22000},
+	}}
+	if fails := compareOnline(empty, current, 0.15); len(fails) != 1 {
+		t.Fatalf("empty ratchet baseline not caught: %v", fails)
+	}
+}

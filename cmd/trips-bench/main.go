@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -29,14 +30,39 @@ func main() {
 		floors  = flag.Int("floors", 3, "mall floors")
 		shops   = flag.Int("shops", 6, "shops per floor")
 		seed    = flag.Int64("seed", 1, "random seed")
-		onlineB = flag.Bool("online", false, "run the online-engine benchmarks and emit machine-readable JSON")
-		outPath = flag.String("out", "BENCH_online.json", "output path for -online results")
+		onlineB  = flag.Bool("online", false, "run the online-engine benchmarks and emit machine-readable JSON")
+		outPath  = flag.String("out", "BENCH_online.json", "output path for -online results")
+		check    = flag.Bool("check", false, "with -online: ratchet the fresh numbers against -baseline and exit non-zero on regression")
+		baseline = flag.String("baseline", "BENCH_online.json", "committed baseline for -check")
+		tol      = flag.Float64("tolerance", 0.15, "allowed fractional ns/record growth for -check")
 	)
 	flag.Parse()
 
 	if *onlineB {
+		// The baseline loads before the benchmarks run, so a bad -baseline
+		// path fails fast instead of after the measurement.
+		var base *onlineBenchFile
+		if *check {
+			var err error
+			if base, err = readOnlineBench(*baseline); err != nil {
+				log.Fatalf("baseline: %v", err)
+			}
+		}
 		if err := runOnlineBench(*outPath); err != nil {
 			log.Fatal(err)
+		}
+		if *check {
+			fresh, err := readOnlineBench(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if fails := compareOnline(base, fresh, *tol); len(fails) != 0 {
+				for _, f := range fails {
+					log.Printf("PERF FAIL: %s", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("perf ratchet passed against %s (tolerance %.0f%%)\n", *baseline, *tol*100)
 		}
 		return
 	}

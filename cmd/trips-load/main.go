@@ -1,0 +1,138 @@
+// Command trips-load is the closed-loop load harness: it drives a running
+// trips-server over HTTP with simulated shoppers under production-shaped
+// stress (bursty batches, reconnect storms, bounded out-of-order and
+// duplicate delivery, slow SSE subscribers), scrapes /metrics for the
+// system-level numbers — ingest→seal→analytics-visible freshness p50/p99,
+// sustained records/s, 429 push-back, heap ceiling — and writes them as
+// BENCH_system.json.
+//
+// With -check it additionally gates the fresh run against a committed
+// baseline (-baseline, default BENCH_system.json) under the SLO
+// tolerances and exits non-zero on a regression — the CI perf gate.
+//
+// Usage:
+//
+//	trips-server -demo &                       # the system under test
+//	trips-load                                 # smoke run, writes BENCH_system.json
+//	trips-load -profile standard -devices 48   # heavier, overridden fleet
+//	trips-load -out /tmp/new.json -check -baseline BENCH_system.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trips/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trips-load: ")
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8765", "trips-server base URL")
+		profile  = flag.String("profile", "smoke", "load profile: smoke|standard")
+		devices  = flag.Int("devices", 0, "override the profile's device count")
+		visits   = flag.Int("visits", 0, "override the profile's itinerary length")
+		seed     = flag.Int64("seed", 0, "override the profile's workload seed")
+		slowSubs = flag.Int("slow-subscribers", -1, "override the profile's slow SSE subscriber count")
+		settle   = flag.Duration("settle", 0, "override the profile's post-send settle timeout")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "abort the run after this long")
+		out      = flag.String("out", "BENCH_system.json", "output path for the run report")
+		check    = flag.Bool("check", false, "gate the run against -baseline and exit non-zero on regression")
+		baseline = flag.String("baseline", "BENCH_system.json", "baseline report for -check")
+
+		tolThroughput = flag.Float64("tol-throughput", loadgen.DefaultTolerances().Throughput,
+			"allowed fractional records/s drop vs baseline")
+		tolP99 = flag.Float64("tol-p99", loadgen.DefaultTolerances().P99Frac,
+			"allowed fractional freshness-p99 growth vs baseline")
+		tolP99Slack = flag.Float64("tol-p99-slack", loadgen.DefaultTolerances().P99SlackS,
+			"absolute freshness-p99 slack in seconds")
+		tolHeap = flag.Float64("tol-heap", loadgen.DefaultTolerances().HeapFrac,
+			"allowed fractional heap-ceiling growth vs baseline")
+		tolHeapSlack = flag.Int64("tol-heap-slack", loadgen.DefaultTolerances().HeapSlackBytes,
+			"absolute heap-ceiling slack in bytes")
+	)
+	flag.Parse()
+
+	var p loadgen.Profile
+	switch *profile {
+	case "smoke":
+		p = loadgen.Smoke()
+	case "standard":
+		p = loadgen.Standard()
+	default:
+		log.Fatalf("unknown profile %q (smoke|standard)", *profile)
+	}
+	if *devices > 0 {
+		p.Devices = *devices
+	}
+	if *visits > 0 {
+		p.Visits = *visits
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *slowSubs >= 0 {
+		p.SlowSubscribers = *slowSubs
+	}
+	if *settle > 0 {
+		p.SettleTimeout = *settle
+	}
+
+	// The -check baseline loads before the run: a missing or malformed
+	// baseline should fail in seconds, not after minutes of load.
+	var base *loadgen.File
+	if *check {
+		var err error
+		if base, err = loadgen.ReadFile(*baseline); err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	runner := &loadgen.Runner{Addr: *addr, Profile: p, Logf: log.Printf}
+	res, err := runner.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	file := loadgen.NewFile(p, res)
+	if err := file.Write(*out); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("profile %-10s %8d records  %8.0f records/s  freshness p50 %.2fs p99 %.2fs (%d sealed paths)\n",
+		p.Name, res.RecordsSent, res.RecordsPerS, res.FreshnessP50S, res.FreshnessP99S, res.FreshnessCount)
+	fmt.Printf("requests %d  429s %d  retries %d  reconnects %d  http-errors %d\n",
+		res.IngestRequests, res.Rejected429, res.Retries, res.Reconnects, res.HTTPErrors)
+	fmt.Printf("late %d  duplicates %d  backlogged %d  sealed %d  folded %d  evictions %d  heap-max %.1f MB\n",
+		res.LateRecords, res.DuplicateRecords, res.BackloggedRecords, res.TripletsSealed,
+		res.TripsFolded, res.SubscriberEvictions, float64(res.HeapMaxBytes)/(1<<20))
+	fmt.Printf("wrote %s\n", *out)
+
+	if *check {
+		tol := loadgen.Tolerances{
+			Throughput:     *tolThroughput,
+			P99Frac:        *tolP99,
+			P99SlackS:      *tolP99Slack,
+			HeapFrac:       *tolHeap,
+			HeapSlackBytes: *tolHeapSlack,
+		}
+		if fails := loadgen.Check(base, file, tol); len(fails) != 0 {
+			for _, f := range fails {
+				log.Printf("SLO FAIL: %s", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("SLO gate passed against %s\n", *baseline)
+	}
+}

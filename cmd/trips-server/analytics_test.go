@@ -400,7 +400,7 @@ func TestAnalyticsRebuildEndpoint(t *testing.T) {
 // re-bootstrap.
 func TestAnalyticsSnapshotAcrossRestart(t *testing.T) {
 	storeDir, anDir := t.TempDir(), t.TempDir()
-	s1, err := load(true, "", "", "", storeDir, anDir)
+	s1, err := load(loadOptions{demo: true, storeDir: storeDir, analyticsDir: anDir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestAnalyticsSnapshotAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2, err := load(true, "", "", "", storeDir, anDir)
+	s2, err := load(loadOptions{demo: true, storeDir: storeDir, analyticsDir: anDir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,5 +428,59 @@ func TestAnalyticsSnapshotAcrossRestart(t *testing.T) {
 	}
 	if st := s2.analytics().Stats(); st.LastSnapshot.IsZero() {
 		t.Error("restarted server does not report the loaded snapshot")
+	}
+}
+
+// TestSlowSubscriberUnderSustainedIngest is the load-shaped companion to
+// TestSSESlowConsumerEvicted: a subscriber that never drains must be
+// evicted while real traffic flows through POST /ingest → seal → fold,
+// without stalling ingest and without inflating the freshness SLO. The
+// transport-level eviction (socket backpressure, "event: evicted"
+// trailer) is covered by the SSE test; this one pins the pipeline
+// contract on /metrics.
+func TestSlowSubscriberUnderSustainedIngest(t *testing.T) {
+	s := demoServer(t)
+	// Shrink the hub buffer so a handful of folds evicts; reuse the
+	// server's registered instruments so /metrics reflects this engine.
+	s.an.Store(analytics.New(analytics.Config{SubscriberBuffer: 2, Metrics: s.obs.analytics}))
+	mux := s.mux()
+
+	sub := s.analytics().Subscribe(nil) // never drained: the slow consumer
+	defer sub.Close()
+
+	// Sustained load: three full demo journeys through the real ingest
+	// path. ingestDemoReplay fails the test on any non-200, so a stalled
+	// or pushed-back ingest (the failure eviction exists to prevent)
+	// cannot pass.
+	var total int
+	for i := 0; i < 3; i++ {
+		total += ingestDemoReplay(t, s, mux, fmt.Sprintf("slow-sub-%d", i))
+	}
+	s.engine.Flush() // seal with arrival stamps → folds → hub publishes
+
+	s.anCache.at = time.Time{} // bypass the 1s stats cache for the scrape
+	samples := scrape(t, mux)
+	if v := samples["trips_analytics_subscriber_evictions_total"]; v < 1 {
+		t.Errorf("trips_analytics_subscriber_evictions_total = %v, want >= 1", v)
+	}
+	for range sub.C() {
+	} // the hub closed the channel; drain the buffered prefix
+	if !sub.Evicted() {
+		t.Error("subscriber channel closed but Evicted() = false")
+	}
+
+	// Ingest kept flowing: every replayed record was admitted.
+	if v := samples["trips_online_records_total"]; v < float64(total) {
+		t.Errorf("trips_online_records_total = %v, want >= %d", v, total)
+	}
+	// Freshness observed and bounded: the eviction means no fold ever
+	// waited on the dead subscriber, so ingest→visible stays wall-clock
+	// small even though the replayed event time spans hours.
+	count := samples["trips_freshness_seconds_count"]
+	if count <= 0 {
+		t.Fatalf("trips_freshness_seconds_count = %v, want > 0", count)
+	}
+	if avg := samples["trips_freshness_seconds_sum"] / count; avg > 30 {
+		t.Errorf("mean freshness = %vs; a slow subscriber must not back up the pipeline", avg)
 	}
 }

@@ -106,6 +106,7 @@ func main() {
 		eventsPath  = flag.String("events", "", "Event Editor state")
 		storeDir    = flag.String("store", "", "warehouse directory (empty = in-memory only)")
 		anDir       = flag.String("analytics-store", "", "analytics view-snapshot directory (empty = rebuild views at every boot)")
+		ingestQueue = flag.Int("ingest-queue", 0, "online shard inbox capacity in records (0 = engine default); POST /ingest answers 429 when a shard's inbox is full")
 		anInterval  = flag.Duration("analytics-snapshot", time.Minute, "interval between periodic analytics snapshots (with -analytics-store)")
 		debugAddr   = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 		autoRebuild = flag.Bool("auto-rebuild", false, "rebuild the analytics views automatically when they drop a backfill")
@@ -119,7 +120,15 @@ func main() {
 	}
 	slog.SetDefault(slog.New(handler))
 
-	s, err := load(*demo, *dsmPath, *dataPath, *eventsPath, *storeDir, *anDir)
+	s, err := load(loadOptions{
+		demo:         *demo,
+		dsmPath:      *dsmPath,
+		dataPath:     *dataPath,
+		eventsPath:   *eventsPath,
+		storeDir:     *storeDir,
+		analyticsDir: *anDir,
+		queueLen:     *ingestQueue,
+	})
 	if err != nil {
 		slog.Error("startup failed", "error", err)
 		os.Exit(1)
@@ -207,7 +216,31 @@ func (s *server) mux() http.Handler {
 	return obs.Middleware(s.obs.http, slog.Default(), mux)
 }
 
-func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir string) (*server, error) {
+// loadOptions configures server assembly. The struct form (rather than
+// positional arguments) exists because the ingest path is now tunable —
+// queueLen bounds admission — and tests need to reach the online engine's
+// configuration without threading every knob through a widening signature.
+type loadOptions struct {
+	demo         bool
+	dsmPath      string
+	dataPath     string
+	eventsPath   string
+	storeDir     string
+	analyticsDir string
+	// queueLen is the online shard inbox capacity (0 = engine default).
+	// When a shard's inbox fills, POST /ingest rejects with 429 instead of
+	// queueing unboundedly.
+	queueLen int
+	// tuneOnline, when set, adjusts the assembled online.Config just before
+	// the engine starts — a test seam for wrapping the emitter or shrinking
+	// flush windows; production callers leave it nil.
+	tuneOnline func(online.Config) online.Config
+}
+
+func load(opts loadOptions) (*server, error) {
+	demo := opts.demo
+	dsmPath, dataPath, eventsPath := opts.dsmPath, opts.dataPath, opts.eventsPath
+	storeDir, analyticsDir := opts.storeDir, opts.analyticsDir
 	var (
 		model  *dsm.Model
 		ds     *position.Dataset
@@ -331,7 +364,15 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 	// reclaim (MAC-randomized device churn would grow it forever). Sealed
 	// emissions tee through the analytics views on their way in; the tee
 	// is an indirection over s.an so a rebuild can swap engines under it.
-	s.engine, err = tr.NewOnline(online.Config{Emitter: wh.Emitter(s.tee), Metrics: so.online})
+	onlineCfg := online.Config{
+		Emitter:  wh.Emitter(s.tee),
+		Metrics:  so.online,
+		QueueLen: opts.queueLen,
+	}
+	if opts.tuneOnline != nil {
+		onlineCfg = opts.tuneOnline(onlineCfg)
+	}
+	s.engine, err = tr.NewOnline(onlineCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -343,6 +384,11 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 	return s, nil
 }
 
+// ingestRetryAfter is the Retry-After hint on 429 responses. One second is
+// the engine's flush cadence: by the time a well-behaved client retries,
+// the backed-up shard has had at least one drain pass.
+const ingestRetryAfter = "1"
+
 // handleIngest accepts positioning records (CSV rows or JSON lines, the
 // same formats the Data Selector reads from files) and streams them into
 // the online engine as they parse: O(1) memory per request instead of
@@ -350,6 +396,13 @@ func load(demo bool, dsmPath, dataPath, eventsPath, storeDir, analyticsDir strin
 // not the server's heap. Error accounting stays per-record: a malformed
 // row stops the stream with its row number, and the response reports how
 // many records had already been ingested by then.
+//
+// Admission is bounded: records route through TryIngest, so a full shard
+// inbox fails the request with 429 + Retry-After instead of parking it on
+// the channel. Under overload the old blocking path accumulated one goroutine
+// + request body per stalled POST with no signal to the client — now the
+// client owns the retry (closed-loop senders back off, records already
+// streamed stay ingested and the response says how many).
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -360,7 +413,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// The per-record closure stays bare: request-level accounting happens
 	// once below, keeping the record route at zero added allocations (the
 	// engine's AllocsPerRun test guards the rest of the path).
-	ingest := func(rec position.Record) error { return s.engine.Ingest(rec) }
+	ingest := func(rec position.Record) error { return s.engine.TryIngest(rec) }
 	var (
 		n   int
 		err error
@@ -373,6 +426,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.obs.ingestRecords.Add(int64(n))
 	s.obs.ingestSeconds.ObserveSince(start)
 	if err != nil {
+		if errors.Is(err, online.ErrBacklogged) {
+			// Backpressure, not failure: don't count it as an ingest error.
+			s.obs.ingestRejected.Inc()
+			w.Header().Set("Retry-After", ingestRetryAfter)
+			http.Error(w, fmt.Sprintf("ingest backlogged (%d records ingested before the push-back); retry after %ss", n, ingestRetryAfter),
+				http.StatusTooManyRequests)
+			return
+		}
 		s.obs.ingestErrors.Inc()
 		code := http.StatusBadRequest
 		if errors.Is(err, online.ErrClosed) {

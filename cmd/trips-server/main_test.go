@@ -16,7 +16,7 @@ import (
 
 func demoServer(t *testing.T) *server {
 	t.Helper()
-	s, err := load(true, "", "", "", "", "")
+	s, err := load(loadOptions{demo: true})
 	if err != nil {
 		t.Fatalf("load demo: %v", err)
 	}
@@ -25,7 +25,7 @@ func demoServer(t *testing.T) *server {
 }
 
 func TestLoadRequiresInputs(t *testing.T) {
-	if _, err := load(false, "", "", "", "", ""); err == nil {
+	if _, err := load(loadOptions{}); err == nil {
 		t.Error("missing inputs accepted")
 	}
 }
@@ -393,7 +393,7 @@ func TestLiveTripsForBatchDevice(t *testing.T) {
 // same answers — without rerunning any translation.
 func TestWarehousePersistsAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
-	s1, err := load(true, "", "", "", dir, "")
+	s1, err := load(loadOptions{demo: true, storeDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestWarehousePersistsAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2, err := load(true, "", "", "", dir, "")
+	s2, err := load(loadOptions{demo: true, storeDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,9 +29,10 @@ type serverObs struct {
 	store     *tripstore.Metrics
 	analytics *analytics.Metrics
 
-	ingestRecords *obs.Counter
-	ingestErrors  *obs.Counter
-	ingestSeconds *obs.Histogram
+	ingestRecords  *obs.Counter
+	ingestErrors   *obs.Counter
+	ingestRejected *obs.Counter
+	ingestSeconds  *obs.Histogram
 
 	autoRebuilds *obs.Counter
 
@@ -42,6 +43,7 @@ type serverObs struct {
 
 func newServerObs() *serverObs {
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg, "trips")
 	return &serverObs{
 		reg:       reg,
 		http:      obs.NewHTTPMetrics(reg, "trips"),
@@ -52,6 +54,8 @@ func newServerObs() *serverObs {
 			"Positioning records accepted by POST /ingest (parsed and routed to the engine)."),
 		ingestErrors: reg.Counter("trips_ingest_errors_total",
 			"POST /ingest requests rejected mid-stream (parse error, body cap, closed engine)."),
+		ingestRejected: reg.Counter("trips_ingest_rejected_total",
+			"POST /ingest requests pushed back with 429 + Retry-After on a full shard inbox."),
 		ingestSeconds: reg.Histogram("trips_ingest_request_seconds",
 			"POST /ingest end-to-end latency: body streaming, parsing, and engine routing.", nil),
 		autoRebuilds: reg.Counter("trips_analytics_auto_rebuilds_total",
@@ -102,6 +106,12 @@ func (s *server) registerBridges() {
 	r.CounterFunc("trips_online_late_records_total",
 		"Records dropped for arriving behind the seal frontier.",
 		func() int64 { return eng.Stats().Late })
+	r.CounterFunc("trips_online_duplicate_records_total",
+		"Redelivered records (same device, same instant) collapsed to exactly-once.",
+		func() int64 { return eng.Stats().Duplicates })
+	r.CounterFunc("trips_online_backlogged_total",
+		"TryIngest rejections on a full shard inbox (each became a 429 upstream).",
+		func() int64 { return eng.Stats().Backlogged })
 	r.CounterFunc("trips_online_triplets_total",
 		"Sealed triplets emitted (complemented gap inferences included).",
 		func() int64 { return eng.Stats().TripletsOut })

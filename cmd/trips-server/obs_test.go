@@ -186,10 +186,22 @@ func TestConcurrentIngestAndScrape(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			rec := httptest.NewRecorder()
-			mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", &body))
-			if rec.Code != http.StatusOK {
-				t.Errorf("ingest status = %d", rec.Code)
+			// Bounded admission may push back mid-stream under the race
+			// detector's slowdown; the closed-loop contract is to re-send
+			// the whole batch — the engine's duplicate collapse makes the
+			// retry exactly-once.
+			payload := body.Bytes()
+			for {
+				rec := httptest.NewRecorder()
+				mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(payload)))
+				if rec.Code == http.StatusOK {
+					return
+				}
+				if rec.Code != http.StatusTooManyRequests {
+					t.Errorf("ingest status = %d", rec.Code)
+					return
+				}
+				time.Sleep(time.Millisecond)
 			}
 		}(i)
 	}

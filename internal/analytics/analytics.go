@@ -205,6 +205,16 @@ func (e *Engine) shardOf(dev position.DeviceID) *shard {
 	return e.shards[h.Sum32()%uint32(len(e.shards))]
 }
 
+// shardForRegion picks a shard by region hash. Live ingest never uses it —
+// additive view entries land on the folding device's shard — but snapshot
+// restore does, so a loaded engine spreads the historical map weight
+// instead of parking it all on shard 0.
+func (e *Engine) shardForRegion(r dsm.RegionID) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, string(r))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
 // Ingest folds one sealed triplet into the views and publishes a delta to
 // matching subscribers. Triplets must arrive in per-device timeline order
 // (both producers guarantee it) with strictly increasing start instants —

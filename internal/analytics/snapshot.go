@@ -396,10 +396,15 @@ func (e *Engine) LoadSnapshot(opts StoreOptions) (bool, error) {
 
 // restore populates a fresh engine from a decoded snapshot. Per-device
 // fold states land on their hash shard (the fold guard needs them there)
-// and occupancy is re-derived from them; the purely additive aggregates —
-// visits, tags, flows, dwell, ring, counters — load into shard 0, which is
-// observationally identical because every query merges shards by sum and
-// nothing ever decrements them.
+// and occupancy is re-derived from them. The purely additive aggregates —
+// visits, tags, flows, dwell, ring — are spread across shards by region
+// hash: any placement is observationally identical (every query merges
+// shards by sum and nothing ever decrements), but loading them all into
+// one shard would leave that shard holding the entire history's map
+// weight while the others start empty — a memory imbalance that persists
+// for the life of the process because entries are never rebalanced. Only
+// the scalar diagnostic counters stay on shard 0; they carry no per-key
+// state to balance.
 func (e *Engine) restore(doc *snapshotDoc) error {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
@@ -447,26 +452,32 @@ func (e *Engine) restore(doc *snapshotDoc) error {
 	s0.lateBucket = doc.Counters.LateBuckets
 	s0.leaves = doc.Counters.Leaves
 	for _, r := range doc.Regions.Rows {
-		s0.visits[r.Region] = r.Visits
+		sh := e.shardForRegion(r.Region)
+		sh.visits[r.Region] = r.Visits
 		if r.Tag != "" {
-			s0.tags[r.Region] = r.Tag
+			sh.tags[r.Region] = r.Tag
 		}
 	}
 	for _, f := range doc.Flows.Rows {
-		s0.flows[flowKey{f.From, f.To}] = f.Count
+		sh := e.shardForRegion(f.From)
+		sh.flows[flowKey{f.From, f.To}] = f.Count
 	}
 	for _, d := range doc.Dwell.Rows {
 		h := new(histogram)
 		copy(h.buckets[:], d.Buckets)
 		h.count, h.sum, h.max = d.Count, d.Sum, d.Max
-		s0.dwell[d.Region] = h
+		e.shardForRegion(d.Region).dwell[d.Region] = h
 	}
 	for _, b := range doc.Ring.Buckets {
-		dst := make(map[dsm.RegionID]int64, len(b.Regions))
 		for _, r := range b.Regions {
+			sh := e.shardForRegion(r.Region)
+			dst := sh.ring[b.Index]
+			if dst == nil {
+				dst = make(map[dsm.RegionID]int64)
+				sh.ring[b.Index] = dst
+			}
 			dst[r.Region] = r.Count
 		}
-		s0.ring[b.Index] = dst
 	}
 	for _, sh := range e.shards {
 		sh.minRetained = doc.Ring.MinRetained

@@ -1,0 +1,85 @@
+package analytics
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"trips/internal/dsm"
+)
+
+// additiveEntries counts the per-key additive view state a shard holds —
+// the memory weight snapshot restore is responsible for placing.
+func additiveEntries(sh *shard) int {
+	n := len(sh.visits) + len(sh.tags) + len(sh.flows) + len(sh.dwell)
+	for _, b := range sh.ring {
+		n += len(b)
+	}
+	return n
+}
+
+// TestSnapshotRestoreSpreadsShards pins the fix for the restore imbalance:
+// loading a snapshot used to park every additive aggregate (visits, tags,
+// flows, dwell, the whole popularity ring) on shard 0, so a restored
+// process carried its entire history's map weight behind one shard mutex
+// while the other shards started empty. Restore must spread the entries
+// across shards — and, since every query merges shards by sum, answer
+// queries identically to the engine that was saved.
+func TestSnapshotRestoreSpreadsShards(t *testing.T) {
+	st := testStore(t)
+	e := New(snapCfg)
+	for _, a := range arrivalOrder(synthTrips(12, 40)) {
+		e.Ingest(a.dev, a.tr)
+	}
+	if err := e.SaveSnapshot(StoreOptions{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := New(snapCfg)
+	if ok, err := loaded.LoadSnapshot(StoreOptions{Store: st}); err != nil || !ok {
+		t.Fatalf("LoadSnapshot = %v, %v", ok, err)
+	}
+
+	total, populated, max := 0, 0, 0
+	for i, sh := range loaded.shards {
+		n := additiveEntries(sh)
+		t.Logf("shard %d: %d additive entries", i, n)
+		total += n
+		if n > 0 {
+			populated++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		t.Fatal("restored engine holds no additive view state")
+	}
+	if populated < 2 {
+		t.Errorf("restore populated %d of %d shards; the load must spread", populated, len(loaded.shards))
+	}
+	if max == total {
+		t.Error("one shard holds every additive entry after restore — the shard-0 imbalance is back")
+	}
+
+	// Placement is an implementation detail; answers must not move.
+	if want, got := e.Snapshot(), loaded.Snapshot(); !reflect.DeepEqual(want, got) {
+		t.Errorf("restored views diverge from saved:\nsaved:  %+v\nloaded: %+v", want, got)
+	}
+	if want, got := e.Occupancy(0), loaded.Occupancy(0); !reflect.DeepEqual(want, got) {
+		t.Errorf("Occupancy diverges after restore:\nsaved:  %+v\nloaded: %+v", want, got)
+	}
+	if want, got := e.Flows("", 100), loaded.Flows("", 100); !reflect.DeepEqual(want, got) {
+		t.Errorf("Flows diverge after restore:\nsaved:  %+v\nloaded: %+v", want, got)
+	}
+	if want, got := e.TopK(8, time.Hour), loaded.TopK(8, time.Hour); !reflect.DeepEqual(want, got) {
+		t.Errorf("TopK diverges after restore:\nsaved:  %+v\nloaded: %+v", want, got)
+	}
+	for _, r := range []string{"r0", "r3", "r7"} {
+		want, okW := e.Dwell(dsm.RegionID(r))
+		got, okG := loaded.Dwell(dsm.RegionID(r))
+		if okW != okG || !reflect.DeepEqual(want, got) {
+			t.Errorf("Dwell(%s) diverges after restore: (%+v, %v) vs (%+v, %v)", r, want, okW, got, okG)
+		}
+	}
+}

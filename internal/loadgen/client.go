@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trips/internal/position"
+)
+
+// senderStats is one device sender's tally; Run sums them into Results.
+type senderStats struct {
+	sent       int64 // records acknowledged by a 200
+	requests   int64 // POST /ingest attempts, retries included
+	retries    int64 // re-sends after a 429
+	rejected   int64 // 429 responses observed
+	reconnects int64 // deliberate connection drops + batch redeliveries
+	httpErrors int64 // non-200, non-429 responses and transport failures
+}
+
+func (s *senderStats) add(o senderStats) {
+	s.sent += o.sent
+	s.requests += o.requests
+	s.retries += o.retries
+	s.rejected += o.rejected
+	s.reconnects += o.reconnects
+	s.httpErrors += o.httpErrors
+}
+
+// maxRetryAfter caps how long a sender honors a Retry-After hint, so a
+// misconfigured server cannot park the whole fleet.
+const maxRetryAfter = 2 * time.Second
+
+// runDevice streams one device's schedule closed-loop: one request in
+// flight, batches of BatchSize records as CSV, retry the same batch after
+// a 429 (honoring Retry-After), and — every ReconnectEvery-th batch — a
+// reconnect storm contribution: drop the transport's idle connections and
+// redeliver the previous batch, the at-least-once behavior of a client
+// that lost its ack in the disconnect.
+func runDevice(ctx context.Context, hc *http.Client, addr string, stream DeviceStream, p Profile) senderStats {
+	var st senderStats
+	batch := p.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	var prev []position.Record
+	for n, i := 0, 0; i < len(stream.Records); n++ {
+		end := min(i+batch, len(stream.Records))
+		cur := stream.Records[i:end]
+		i = end
+		if p.ReconnectEvery > 0 && n > 0 && n%p.ReconnectEvery == 0 && prev != nil {
+			hc.CloseIdleConnections()
+			st.reconnects++
+			sendBatch(ctx, hc, addr, prev, &st, true)
+		}
+		if !sendBatch(ctx, hc, addr, cur, &st, false) {
+			return st // context canceled: stop offering load
+		}
+		prev = cur
+	}
+	return st
+}
+
+// sendBatch posts one CSV batch until acknowledged. Redeliveries don't
+// count into sent: the server already acked those records once, so only
+// distinct acked records feed the throughput number. Returns false only
+// when the context ends.
+func sendBatch(ctx context.Context, hc *http.Client, addr string, recs []position.Record, st *senderStats, redelivery bool) bool {
+	ds := position.NewDataset()
+	for _, r := range recs {
+		ds.Add(r)
+	}
+	var body bytes.Buffer
+	if err := position.WriteCSV(&body, ds); err != nil {
+		st.httpErrors++
+		return true
+	}
+	payload := body.Bytes()
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return false
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/ingest", bytes.NewReader(payload))
+		if err != nil {
+			st.httpErrors++
+			return true
+		}
+		req.Header.Set("Content-Type", "text/csv")
+		st.requests++
+		resp, err := hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return false
+			}
+			st.httpErrors++
+			return true
+		}
+		code := resp.StatusCode
+		ra := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch code {
+		case http.StatusOK:
+			if !redelivery {
+				st.sent += int64(len(recs))
+			}
+			return true
+		case http.StatusTooManyRequests:
+			st.rejected++
+			st.retries++
+			if !sleepCtx(ctx, retryDelay(ra)) {
+				return false
+			}
+		default:
+			st.httpErrors++
+			return true
+		}
+	}
+}
+
+// retryDelay turns a Retry-After header into a bounded wait; a missing or
+// malformed hint backs off briefly rather than hot-looping.
+func retryDelay(header string) time.Duration {
+	if secs, err := strconv.Atoi(header); err == nil && secs >= 0 {
+		return min(time.Duration(secs)*time.Second, maxRetryAfter)
+	}
+	return 50 * time.Millisecond
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// slowSubscriber opens an /analytics/subscribe SSE stream and then reads
+// nothing further — the misbehaving-consumer shape that must trip the
+// delta hub's eviction (never stall ingest). It holds the connection
+// until the context ends or the server evicts it.
+func slowSubscriber(ctx context.Context, hc *http.Client, addr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/analytics/subscribe", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("subscribe status %d", resp.StatusCode)
+	}
+	// Read exactly one line to prove the stream is live, then stop
+	// draining: the server's writes back up into the socket and the hub
+	// buffer behind it.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		return nil // stream closed immediately; eviction or shutdown
+	}
+	<-ctx.Done()
+	return nil
+}

@@ -1,0 +1,75 @@
+package loadgen
+
+import "fmt"
+
+// Tolerances bound how far a run may drift from its baseline before the
+// SLO gate fails. Ratio fields are fractions (0.30 = 30%); the absolute
+// slack fields keep tiny baselines from turning measurement noise into
+// failures (50% of a 40ms p99 is not a regression budget).
+type Tolerances struct {
+	// Throughput fails when records_per_s drops more than this fraction
+	// below the baseline.
+	Throughput float64
+	// P99Frac and P99SlackS fail when freshness p99 exceeds
+	// base*(1+P99Frac) + P99SlackS seconds.
+	P99Frac   float64
+	P99SlackS float64
+	// HeapFrac and HeapSlackBytes fail when the heap ceiling exceeds
+	// base*(1+HeapFrac) + HeapSlackBytes.
+	HeapFrac       float64
+	HeapSlackBytes int64
+}
+
+// DefaultTolerances is the CI gate: generous enough for shared-runner
+// noise, tight enough that a real regression (a leak, an O(n) slip in the
+// ingest path, a stalled seal) cannot hide.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		Throughput:     0.30,
+		P99Frac:        0.50,
+		P99SlackS:      2.0,
+		HeapFrac:       0.50,
+		HeapSlackBytes: 64 << 20,
+	}
+}
+
+// Check gates a fresh run against a committed baseline. It returns one
+// message per violated SLO (empty = pass). Sanity violations — a run that
+// sent nothing, returned HTTP errors, or never produced a freshness
+// observation where the baseline did — fail regardless of tolerances:
+// a harness that measured nothing must never green-light a regression.
+func Check(baseline, current *File, tol Tolerances) []string {
+	var fails []string
+	cur, base := current.Results, baseline.Results
+	if cur.RecordsSent == 0 {
+		fails = append(fails, "no records were acknowledged: the run measured nothing")
+	}
+	if cur.HTTPErrors > 0 {
+		fails = append(fails, fmt.Sprintf("%d HTTP errors: every non-429 failure is an SLO breach", cur.HTTPErrors))
+	}
+	if cur.FreshnessCount == 0 && base.FreshnessCount > 0 {
+		fails = append(fails, "no freshness observations: the ingest→seal→fold pipeline never completed")
+	}
+	if base.RecordsPerS > 0 {
+		floor := base.RecordsPerS * (1 - tol.Throughput)
+		if cur.RecordsPerS < floor {
+			fails = append(fails, fmt.Sprintf("throughput %.0f records/s is below the floor %.0f (baseline %.0f −%.0f%%)",
+				cur.RecordsPerS, floor, base.RecordsPerS, tol.Throughput*100))
+		}
+	}
+	if base.FreshnessCount > 0 && cur.FreshnessCount > 0 {
+		ceil := base.FreshnessP99S*(1+tol.P99Frac) + tol.P99SlackS
+		if cur.FreshnessP99S > ceil {
+			fails = append(fails, fmt.Sprintf("freshness p99 %.2fs exceeds the ceiling %.2fs (baseline %.2fs +%.0f%% +%.1fs)",
+				cur.FreshnessP99S, ceil, base.FreshnessP99S, tol.P99Frac*100, tol.P99SlackS))
+		}
+	}
+	if base.HeapMaxBytes > 0 {
+		ceil := int64(float64(base.HeapMaxBytes)*(1+tol.HeapFrac)) + tol.HeapSlackBytes
+		if cur.HeapMaxBytes > ceil {
+			fails = append(fails, fmt.Sprintf("heap ceiling %d bytes exceeds the limit %d (baseline %d +%.0f%% +%d)",
+				cur.HeapMaxBytes, ceil, base.HeapMaxBytes, tol.HeapFrac*100, tol.HeapSlackBytes))
+		}
+	}
+	return fails
+}

@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trips/internal/obs"
+	"trips/internal/position"
+)
+
+// fakeServer imitates the trips-server surface the harness touches —
+// /ingest with injected 429s, /metrics over a real obs registry, a
+// blocking SSE /analytics/subscribe — so the closed-loop client contract
+// (retry on 429 with Retry-After, count rejections, never error) is
+// provable without booting the full pipeline.
+type fakeServer struct {
+	reg       *obs.Registry
+	freshness *obs.Histogram
+	ingested  atomic.Int64
+	requests  atomic.Int64
+	rejectNth int64 // every Nth /ingest request answers 429
+}
+
+func newFakeServer(rejectNth int64) (*fakeServer, http.Handler) {
+	f := &fakeServer{reg: obs.NewRegistry(), rejectNth: rejectNth}
+	obs.RegisterRuntimeMetrics(f.reg, "trips")
+	f.freshness = f.reg.Histogram("trips_freshness_seconds", "test", obs.FreshnessBounds)
+	f.reg.CounterFunc("trips_online_records_total", "test", f.ingested.Load)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if n := f.requests.Add(1); f.rejectNth > 0 && n%f.rejectNth == 0 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "ingest backlogged", http.StatusTooManyRequests)
+			return
+		}
+		n, err := position.StreamCSV(r.Body, func(rec position.Record) error {
+			f.ingested.Add(1)
+			f.freshness.Observe(time.Duration(f.ingested.Load()%40) * 100 * time.Millisecond)
+			return nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_ = n
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.Handle("/metrics", f.reg.Handler())
+	mux.HandleFunc("/analytics/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Write([]byte("event: hello\ndata: {}\n\n"))
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		<-r.Context().Done()
+	})
+	return f, mux
+}
+
+// testProfile is small enough to finish in seconds yet trips every client
+// behavior: batching, shuffle, duplicates, reconnect redelivery, and the
+// injected 429 path.
+func testProfile() Profile {
+	return Profile{
+		Name:            "test",
+		Devices:         2,
+		Visits:          1,
+		BatchSize:       16,
+		ShuffleWindow:   4,
+		DuplicateEvery:  7,
+		ReconnectEvery:  3,
+		SlowSubscribers: 1,
+		Seed:            3,
+		SettleTimeout:   3 * time.Second,
+	}
+}
+
+// TestRunClosedLoop drives a full harness run against the fake server:
+// every scheduled delivery must be acknowledged despite the injected
+// 429s (retried, counted, never surfaced as an error), the metrics deltas
+// must come back, and the report must carry a heap ceiling.
+func TestRunClosedLoop(t *testing.T) {
+	fake, handler := newFakeServer(5)
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	p := testProfile()
+	r := &Runner{Addr: srv.URL, Profile: p, Logf: t.Logf}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streams, err := BuildWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scheduled int64
+	for _, s := range streams {
+		scheduled += int64(len(s.Records))
+	}
+	if res.RecordsSent != scheduled {
+		t.Errorf("records_sent = %d, want every scheduled delivery acked (%d)", res.RecordsSent, scheduled)
+	}
+	if res.HTTPErrors != 0 {
+		t.Errorf("http_errors = %d; 429s must be retried, not surfaced", res.HTTPErrors)
+	}
+	if res.Rejected429 == 0 || res.Retries == 0 {
+		t.Errorf("rejected=%d retries=%d; the injected 429s never exercised the retry path", res.Rejected429, res.Retries)
+	}
+	if res.Reconnects == 0 {
+		t.Error("reconnect storm never fired")
+	}
+	// The server saw the acked records plus the reconnect redeliveries.
+	if got := fake.ingested.Load(); got < res.RecordsSent {
+		t.Errorf("server ingested %d < %d acked", got, res.RecordsSent)
+	}
+	if res.IngestRequests < res.Retries {
+		t.Errorf("requests %d < retries %d", res.IngestRequests, res.Retries)
+	}
+	if res.FreshnessCount == 0 || res.FreshnessP99S <= 0 || res.FreshnessP50S <= 0 {
+		t.Errorf("freshness not measured: count=%d p50=%v p99=%v", res.FreshnessCount, res.FreshnessP50S, res.FreshnessP99S)
+	}
+	if res.FreshnessP99S < res.FreshnessP50S {
+		t.Errorf("p99 %.3fs < p50 %.3fs", res.FreshnessP99S, res.FreshnessP50S)
+	}
+	if res.HeapMaxBytes <= 0 {
+		t.Error("no heap ceiling sampled")
+	}
+	if res.RecordsPerS <= 0 || res.ElapsedS <= 0 {
+		t.Errorf("throughput not derived: %v records/s over %vs", res.RecordsPerS, res.ElapsedS)
+	}
+}
+
+// TestRunReportRoundTrip writes a run's report and reads it back as a
+// gate baseline.
+func TestRunReportRoundTrip(t *testing.T) {
+	f := NewFile(Smoke(), Results{RecordsSent: 10, RecordsPerS: 100, FreshnessCount: 3,
+		FreshnessP99S: 1.5, HeapMaxBytes: 1 << 20})
+	path := t.TempDir() + "/BENCH_system.json"
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != "system" || got.Results != f.Results || got.Config != f.Config {
+		t.Errorf("round trip diverged:\nwrote %+v\nread  %+v", f, got)
+	}
+	if fails := Check(got, f, DefaultTolerances()); len(fails) != 0 {
+		t.Errorf("self-comparison failed the gate: %v", fails)
+	}
+}
+
+// TestBuildWorkloadDeterministic pins that the same profile always yields
+// the same schedule — the property that makes two BENCH_system.json runs
+// comparable.
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	a, err := BuildWorkload(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorkload(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("device counts diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Device != b[i].Device || len(a[i].Records) != len(b[i].Records) || a[i].Duplicates != b[i].Duplicates {
+			t.Fatalf("stream %d diverges between identical builds", i)
+		}
+		for j := range a[i].Records {
+			if a[i].Records[j] != b[i].Records[j] {
+				t.Fatalf("stream %d record %d diverges", i, j)
+			}
+		}
+	}
+	if a[0].Duplicates == 0 {
+		t.Error("schedule carries no duplicates; the at-least-once shape is missing")
+	}
+}

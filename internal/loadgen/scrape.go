@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"trips/internal/obs"
+)
+
+// Sample is one scrape of /metrics, keyed exactly as rendered
+// ("name" or `name{label="v"}`).
+type Sample map[string]float64
+
+// scrapeMetrics fetches and parses one exposition.
+func scrapeMetrics(ctx context.Context, hc *http.Client, addr string) (Sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics status %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(resp.Body)
+}
+
+// Sub returns final−initial per key — the run's own contribution to every
+// cumulative series, so pre-run history (a warm server) never pollutes
+// the measurement. Keys absent from initial pass through unchanged;
+// negative deltas (a counter reset under a restart) clamp to zero.
+func Sub(final, initial Sample) Sample {
+	out := make(Sample, len(final))
+	for k, v := range final {
+		d := v - initial[k]
+		if d < 0 {
+			d = 0
+		}
+		out[k] = d
+	}
+	return out
+}
+
+// HistogramQuantile estimates the q-quantile of a rendered histogram from
+// its cumulative le-buckets, with linear interpolation inside the
+// covering bucket — the same estimate obs.Histogram.Quantile computes
+// in-process, minus the observed-max refinement (the exposition does not
+// carry the max, so the open +Inf bucket clamps to the last finite
+// bound). Returns 0 when the histogram has no observations.
+func HistogramQuantile(s Sample, name string, q float64) float64 {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	prefix := name + `_bucket{le="`
+	var buckets []bucket
+	for k, v := range s {
+		if !strings.HasPrefix(k, prefix) || !strings.HasSuffix(k, `"}`) {
+			continue
+		}
+		le := strings.TrimSuffix(strings.TrimPrefix(k, prefix), `"}`)
+		bound, err := parseLe(le)
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le: bound, cum: v})
+	}
+	if len(buckets) == 0 {
+		return 0
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total <= 0 {
+		return 0
+	}
+	target := q * total
+	var lastFinite float64
+	for i := range buckets {
+		if buckets[i].le < posInf {
+			lastFinite = buckets[i].le
+		}
+	}
+	prevCum, prevBound := 0.0, 0.0
+	for _, b := range buckets {
+		if target <= b.cum && b.cum > prevCum {
+			hi := b.le
+			if hi >= posInf {
+				hi = lastFinite // open bucket: clamp to the last bound
+			}
+			if hi < prevBound {
+				hi = prevBound
+			}
+			frac := (target - prevCum) / (b.cum - prevCum)
+			return prevBound + frac*(hi-prevBound)
+		}
+		prevCum, prevBound = b.cum, b.le
+	}
+	return lastFinite
+}
+
+var posInf = math.Inf(1)
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return posInf, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// histogramCount reads a rendered histogram's _count sample.
+func histogramCount(s Sample, name string) int64 {
+	return int64(s[name+"_count"])
+}

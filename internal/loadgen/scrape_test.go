@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"trips/internal/obs"
+)
+
+// TestHistogramQuantileMatchesObs proves the scrape-side quantile — the
+// one computed from rendered cumulative buckets — agrees with the
+// in-process obs.Histogram.Quantile it mirrors, over the freshness bucket
+// layout the harness actually reads.
+func TestHistogramQuantileMatchesObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("trips_freshness_seconds", "test", obs.FreshnessBounds)
+	// A spread that lands in several finite buckets, sub-second to
+	// minutes — none in the open bucket, where the scrape side clamps to
+	// the last bound instead of the true max.
+	for _, d := range []time.Duration{
+		200 * time.Millisecond, 300 * time.Millisecond, 700 * time.Millisecond,
+		2 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		20 * time.Second, 45 * time.Second, 90 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := h.Quantile(q).Seconds()
+		got := HistogramQuantile(s, "trips_freshness_seconds", q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("q=%.2f: scraped %.6fs, in-process %.6fs", q, got, want)
+		}
+	}
+	if got := histogramCount(s, "trips_freshness_seconds"); got != h.Count() {
+		t.Errorf("scraped count %d, in-process %d", got, h.Count())
+	}
+}
+
+// TestHistogramQuantileEmpty returns 0 for a histogram with no
+// observations or one missing from the scrape entirely.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("trips_freshness_seconds", "test", obs.FreshnessBounds)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := HistogramQuantile(s, "trips_freshness_seconds", 0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := HistogramQuantile(s, "no_such_metric", 0.5); got != 0 {
+		t.Errorf("missing histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestSubClampsResets differences two scrapes and clamps counter resets
+// to zero instead of reporting negative deltas.
+func TestSubClampsResets(t *testing.T) {
+	initial := Sample{"a_total": 10, "b_total": 5}
+	final := Sample{"a_total": 25, "b_total": 2, "c_total": 7}
+	d := Sub(final, initial)
+	if d["a_total"] != 15 || d["b_total"] != 0 || d["c_total"] != 7 {
+		t.Errorf("Sub = %v, want a=15 b=0 c=7", d)
+	}
+}

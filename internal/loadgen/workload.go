@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"trips/internal/position"
+	"trips/internal/simul"
+)
+
+// DeviceStream is one simulated shopper's delivery schedule: the records
+// in the exact order (including redeliveries) its sender will POST them.
+type DeviceStream struct {
+	Device  position.DeviceID
+	Records []position.Record
+	// Duplicates counts the redelivered records in the schedule, so a
+	// harness consumer can separate offered load from distinct records.
+	Duplicates int
+}
+
+// workloadStart is the event-time origin of generated journeys. It sits a
+// day past the demo dataset's window so load devices never collide with
+// the server's startup corpus, and it is fixed (not wall clock) so runs
+// are reproducible record-for-record.
+var workloadStart = time.Date(2017, 1, 2, 10, 0, 0, 0, time.UTC)
+
+// BuildWorkload simulates the profile's shopper fleet over the same mall
+// the demo server runs (3 floors × 6 shops) and shapes each device's
+// observation sequence into an adversarial delivery schedule: bounded
+// shuffle plus periodic duplicates. Reconnect redelivery happens at the
+// sender (client.go) because it is a transport behavior, not a schedule.
+func BuildWorkload(p Profile) ([]DeviceStream, error) {
+	if p.Devices <= 0 || p.Visits <= 0 {
+		return nil, fmt.Errorf("loadgen: profile needs devices and visits, got %d/%d", p.Devices, p.Visits)
+	}
+	model, err := simul.BuildMall(simul.MallSpec{Floors: 3, ShopsPerFloor: 6})
+	if err != nil {
+		return nil, err
+	}
+	sim := simul.NewSim(model, p.Seed)
+	rng := lcg(uint64(p.Seed) ^ 0x9e3779b97f4a7c15)
+	streams := make([]DeviceStream, 0, p.Devices)
+	for i := 0; i < p.Devices; i++ {
+		dev := position.DeviceID(fmt.Sprintf("load-%03d", i))
+		start := workloadStart.Add(time.Duration(rng(20*60)) * time.Second)
+		truth, err := sim.SimulateVisit(dev, start, sim.RandomItinerary(p.Visits))
+		if err != nil {
+			return nil, err
+		}
+		raw := sim.Observe(truth, simul.DefaultErrorModel())
+		recs := append([]position.Record(nil), raw.Records...)
+		sched, dups := shapeDelivery(recs, p, rng)
+		streams = append(streams, DeviceStream{Device: dev, Records: sched, Duplicates: dups})
+	}
+	return streams, nil
+}
+
+// lcg returns a deterministic bounded-int source (same constants as the
+// repo's test schedules), independent from the simulator's rand stream.
+func lcg(seed uint64) func(mod int) int {
+	st := seed
+	return func(mod int) int {
+		st = st*6364136223846793005 + 1442695040888963407
+		return int((st >> 33) % uint64(mod))
+	}
+}
+
+// shapeDelivery perturbs one device's in-order records into the
+// production failure shape: a Fisher-Yates shuffle within disjoint
+// windows (no record moves more than ShuffleWindow-1 positions), then a
+// duplicate of every DuplicateEvery-th record reinserted ~5 positions
+// later.
+func shapeDelivery(recs []position.Record, p Profile, next func(int) int) (sched []position.Record, dups int) {
+	sched = recs
+	if w := p.ShuffleWindow; w > 1 {
+		for base := 0; base < len(sched); base += w {
+			end := min(base+w, len(sched))
+			for i := end - 1; i > base; i-- {
+				j := base + next(i-base+1)
+				sched[i], sched[j] = sched[j], sched[i]
+			}
+		}
+	}
+	if p.DuplicateEvery > 0 {
+		type insertion struct {
+			pos int
+			rec position.Record
+		}
+		var ins []insertion
+		for i := len(sched) - 1; i >= 0; i -= p.DuplicateEvery {
+			ins = append(ins, insertion{pos: i + 5, rec: sched[i]})
+			dups++
+		}
+		for _, d := range ins { // highest position first: indexes stay valid
+			pos := min(d.pos, len(sched))
+			sched = append(sched[:pos], append([]position.Record{d.rec}, sched[pos:]...)...)
+		}
+	}
+	return sched, dups
+}

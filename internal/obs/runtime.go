@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics exposes the Go runtime's memory and scheduler
+// state as pull-time gauges under the given prefix:
+//
+//	<prefix>_runtime_heap_alloc_bytes   live heap bytes (MemStats.HeapAlloc)
+//	<prefix>_runtime_heap_sys_bytes    heap address space held from the OS
+//	<prefix>_runtime_sys_bytes         total runtime-managed bytes
+//	<prefix>_runtime_goroutines        current goroutine count
+//	<prefix>_runtime_gc_total          completed GC cycles
+//
+// These are the load harness's memory-ceiling source: trips-load scrapes
+// heap_alloc across a run and reports the maximum, so a leak on the ingest
+// or fold path shows up as a trajectory regression rather than a prod
+// incident. runtime.ReadMemStats stops the world; the samples share one
+// read per second so a scrape costs at most one pause regardless of how
+// many of these gauges it renders.
+func RegisterRuntimeMetrics(r *Registry, prefix string) {
+	var (
+		mu   sync.Mutex
+		at   time.Time
+		stat runtime.MemStats
+	)
+	read := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if at.IsZero() || time.Since(at) > time.Second {
+			runtime.ReadMemStats(&stat)
+			at = time.Now()
+		}
+		return stat
+	}
+	r.GaugeFunc(prefix+"_runtime_heap_alloc_bytes",
+		"Live heap bytes (runtime.MemStats.HeapAlloc).",
+		func() float64 { m := read(); return float64(m.HeapAlloc) })
+	r.GaugeFunc(prefix+"_runtime_heap_sys_bytes",
+		"Heap address space obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { m := read(); return float64(m.HeapSys) })
+	r.GaugeFunc(prefix+"_runtime_sys_bytes",
+		"Total bytes of memory managed by the Go runtime (runtime.MemStats.Sys).",
+		func() float64 { m := read(); return float64(m.Sys) })
+	r.GaugeFunc(prefix+"_runtime_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.CounterFunc(prefix+"_runtime_gc_total",
+		"Completed garbage-collection cycles.",
+		func() int64 { m := read(); return int64(m.NumGC) })
+}

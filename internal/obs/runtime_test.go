@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRuntimeMetrics: the runtime gauges render as valid exposition with
+// sane values — a live process has a non-zero heap, goroutines, and sys.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r, "trips")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("runtime metrics render invalid exposition: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{
+		"trips_runtime_heap_alloc_bytes",
+		"trips_runtime_heap_sys_bytes",
+		"trips_runtime_sys_bytes",
+		"trips_runtime_goroutines",
+	} {
+		v, ok := samples[name]
+		if !ok {
+			t.Errorf("missing %s in exposition", name)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	if _, ok := samples["trips_runtime_gc_total"]; !ok {
+		t.Error("missing trips_runtime_gc_total in exposition")
+	}
+}

@@ -15,6 +15,12 @@ import (
 // ErrClosed is returned by Ingest after Close.
 var ErrClosed = errors.New("online: engine closed")
 
+// ErrBacklogged is returned by TryIngest when the record's shard inbox is
+// full: the engine is not keeping up with the feed and the caller should
+// shed load upstream (the server's ingest endpoint turns this into
+// 429 + Retry-After) instead of queueing unboundedly.
+var ErrBacklogged = errors.New("online: shard inbox full")
+
 // Engine is the online translation engine: it shards devices across a
 // fixed worker pool and runs a Session per device. Create with NewEngine
 // (or core.Translator.NewOnline), feed it with Ingest or Consume, and
@@ -160,6 +166,26 @@ func (e *Engine) Ingest(r position.Record) error {
 	}
 	e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r}
 	return nil
+}
+
+// TryIngest routes one record to its device's shard without ever blocking:
+// a full shard inbox returns ErrBacklogged instead of queueing, so a caller
+// with its own backpressure channel (an HTTP ingest endpoint answering 429)
+// can bound admission rather than letting blocked requests pile up. The
+// non-blocking send keeps the zero-allocation ingest route.
+func (e *Engine) TryIngest(r position.Record) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r}:
+		return nil
+	default:
+		e.stats.Backlogged.Add(1)
+		return ErrBacklogged
+	}
 }
 
 // Consume subscribes to a live feed and ingests it until the stream
@@ -334,8 +360,12 @@ func (sh *shard) ingest(e *Engine, r position.Record) {
 		sh.sessions[r.Device] = ss
 		e.stats.Sessions.Add(1)
 	}
-	if !ss.ingest(e, r) {
+	switch ss.ingest(e, r) {
+	case admitLate:
 		e.stats.Late.Add(1)
+		return
+	case admitDuplicate:
+		e.stats.Duplicates.Add(1)
 		return
 	}
 	e.stats.Records.Add(1)

@@ -84,13 +84,36 @@ func newSession(dev position.DeviceID) *session {
 	return &session{dev: dev, tail: position.NewSequence(dev)}
 }
 
+// admit is the outcome of a session ingest attempt.
+type admit uint8
+
+const (
+	admitOK admit = iota
+	admitLate
+	admitDuplicate
+)
+
 // ingest buffers one record, dropping it as late when it cannot be
 // admitted without touching sealed output. The drop predicate IS the
 // admission floor: admitting anything the floor rejects would let an
 // out-of-order record land inside the cleaning cache's stable prefix.
-func (ss *session) ingest(e *Engine, r position.Record) bool {
+func (ss *session) ingest(e *Engine, r position.Record) admit {
 	if floor := ss.admissionFloor(e); !floor.IsZero() && !r.At.After(floor) {
-		return false
+		return admitLate
+	}
+	// A record timestamped at or before the current tail end is either a
+	// bounded out-of-order arrival or a redelivery. Redeliveries collapse
+	// to exactly-once here: a duplicated record would double-count as a
+	// density neighbor and change sealed output, so at-least-once upstream
+	// delivery (reconnect storms, retried ingest batches) must not reach
+	// the translation layers. The device model is one position per instant,
+	// so timestamp equality is the identity. In-order feeds never take the
+	// search: strictly increasing timestamps skip it entirely.
+	if n := ss.tail.Len(); n > 0 && !r.At.After(ss.tail.Records[n-1].At) {
+		i := sort.Search(n, func(i int) bool { return !ss.tail.Records[i].At.Before(r.At) })
+		if i < n && ss.tail.Records[i].At.Equal(r.At) {
+			return admitDuplicate
+		}
 	}
 	ss.tail.Append(r)
 	ss.pending++
@@ -98,7 +121,7 @@ func (ss *session) ingest(e *Engine, r position.Record) bool {
 	if ss.firstPending.IsZero() {
 		ss.firstPending = ss.lastArrival
 	}
-	return true
+	return admitOK
 }
 
 // admissionFloor is the earliest instant a future record of this session

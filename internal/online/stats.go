@@ -7,6 +7,8 @@ import "sync/atomic"
 type engineStats struct {
 	Records            atomic.Int64
 	Late               atomic.Int64
+	Duplicates         atomic.Int64
+	Backlogged         atomic.Int64
 	Triplets           atomic.Int64
 	Inferred           atomic.Int64
 	Flushes            atomic.Int64
@@ -22,9 +24,14 @@ type engineStats struct {
 // lag.
 type Stats struct {
 	// RecordsIn counts admitted records; Late counts records dropped for
-	// arriving behind the seal frontier.
-	RecordsIn int64 `json:"recordsIn"`
-	Late      int64 `json:"late"`
+	// arriving behind the seal frontier. Duplicates counts redelivered
+	// records (same device, same instant) collapsed to exactly-once.
+	// Backlogged counts TryIngest rejections on a full shard inbox — the
+	// records the server's admission control turned into 429s.
+	RecordsIn  int64 `json:"recordsIn"`
+	Late       int64 `json:"late"`
+	Duplicates int64 `json:"duplicates"`
+	Backlogged int64 `json:"backlogged"`
 	// TripletsOut counts every emission; Inferred the complemented subset.
 	TripletsOut int64 `json:"tripletsOut"`
 	Inferred    int64 `json:"inferred"`
@@ -54,6 +61,8 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		RecordsIn:             e.stats.Records.Load(),
 		Late:                  e.stats.Late.Load(),
+		Duplicates:            e.stats.Duplicates.Load(),
+		Backlogged:            e.stats.Backlogged.Load(),
 		TripletsOut:           e.stats.Triplets.Load(),
 		Inferred:              e.stats.Inferred.Load(),
 		Flushes:               e.stats.Flushes.Load(),
