@@ -25,12 +25,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trips-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment id: e1..e6 or all")
-		devices = flag.Int("devices", 20, "simulated devices")
-		floors  = flag.Int("floors", 3, "mall floors")
-		shops   = flag.Int("shops", 6, "shops per floor")
-		seed    = flag.Int64("seed", 1, "random seed")
+		exp      = flag.String("exp", "all", "experiment id: e1..e6 or all")
+		devices  = flag.Int("devices", 20, "simulated devices")
+		floors   = flag.Int("floors", 3, "mall floors")
+		shops    = flag.Int("shops", 6, "shops per floor")
+		seed     = flag.Int64("seed", 1, "random seed")
 		onlineB  = flag.Bool("online", false, "run the online-engine benchmarks and emit machine-readable JSON")
+		tracedB  = flag.Bool("traced", false, "with -online: add traced-vs-untraced overhead workloads (informational, never ratcheted)")
 		outPath  = flag.String("out", "BENCH_online.json", "output path for -online results")
 		check    = flag.Bool("check", false, "with -online: ratchet the fresh numbers against -baseline and exit non-zero on regression")
 		baseline = flag.String("baseline", "BENCH_online.json", "committed baseline for -check")
@@ -48,7 +49,7 @@ func main() {
 				log.Fatalf("baseline: %v", err)
 			}
 		}
-		if err := runOnlineBench(*outPath); err != nil {
+		if err := runOnlineBench(*outPath, *tracedB); err != nil {
 			log.Fatal(err)
 		}
 		if *check {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"trips/internal/experiments"
+	"trips/internal/obs/trace"
 	"trips/internal/online"
 	"trips/internal/position"
 )
@@ -28,6 +29,12 @@ import (
 //     should hold roughly flat between the two tail lengths.
 //   - population-1h: 16 devices over an hour of mall traffic on one shard,
 //     the sustained-throughput shape of BenchmarkOnlineTranslate.
+//
+// With -traced, two extra workloads measure the tracing tentpole's cost on
+// the 1k long session (informational, never ratcheted): trace-off-1k runs
+// with a tracer configured but the request unsampled — the overhead of
+// having tracing compiled into the hot path — and trace-on-1k forces a
+// sampled trace through every record, the worst-case fully-traced stream.
 
 // onlineBenchResult is one workload's measurement.
 type onlineBenchResult struct {
@@ -65,8 +72,17 @@ func benchCommit() string {
 	return os.Getenv("GITHUB_SHA")
 }
 
+// traceMode selects how a workload interacts with the tracer.
+type traceMode int
+
+const (
+	traceNone traceMode = iota // no tracer configured (the committed baselines)
+	traceOff                   // tracer configured, request unsampled: the rate-0 overhead
+	traceOn                    // tracer configured, every stream fully sampled
+)
+
 // runOnlineBench measures the workloads and writes outPath.
-func runOnlineBench(outPath string) error {
+func runOnlineBench(outPath string, traced bool) error {
 	spec := experiments.DefaultEnvSpec()
 	spec.Devices = 16
 	spec.Window = time.Hour
@@ -86,13 +102,19 @@ func runOnlineBench(outPath string) error {
 	for _, n := range []int{1000, 8000} {
 		recs := experiments.LongSessionRecords(env, "long", n)
 		file.Benchmarks = append(file.Benchmarks,
-			measureOnline(fmt.Sprintf("long-session-%dk", n/1000), env, recs))
+			measureOnline(fmt.Sprintf("long-session-%dk", n/1000), env, recs, traceNone))
 	}
 	var population []position.Record
 	for _, seq := range env.Raw.Sequences() {
 		population = append(population, seq.Records...)
 	}
-	file.Benchmarks = append(file.Benchmarks, measureOnline("population-1h", env, population))
+	file.Benchmarks = append(file.Benchmarks, measureOnline("population-1h", env, population, traceNone))
+	if traced {
+		recs := experiments.LongSessionRecords(env, "long", 1000)
+		file.Benchmarks = append(file.Benchmarks,
+			measureOnline("trace-off-1k", env, recs, traceOff),
+			measureOnline("trace-on-1k", env, recs, traceOn))
+	}
 
 	out, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
@@ -111,8 +133,16 @@ func runOnlineBench(outPath string) error {
 }
 
 // measureOnline runs one full engine pass (start, ingest every record,
-// close) per benchmark op and derives the per-record rates.
-func measureOnline(name string, env *experiments.Env, recs []position.Record) onlineBenchResult {
+// close) per benchmark op and derives the per-record rates. traceOff and
+// traceOn attach a tracer to the engine; traceOn additionally samples a
+// fresh trace per op and threads it through every ingest — span recording
+// rides the lock-free slot buffers, so overflow past the buffered window
+// drops spans rather than slowing the path (the realistic steady state).
+func measureOnline(name string, env *experiments.Env, recs []position.Record, mode traceMode) onlineBenchResult {
+	var tracer *trace.Tracer
+	if mode != traceNone {
+		tracer = trace.New(trace.Config{SampleRate: 1})
+	}
 	var emittedPerOp int64
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -123,6 +153,7 @@ func measureOnline(name string, env *experiments.Env, recs []position.Record) on
 				FlushEvery:    16,
 				FlushInterval: -1,
 				IdleTimeout:   -1,
+				Tracer:        tracer,
 				Emitter: online.EmitterFunc(func(online.Emission) {
 					emitted.Add(1)
 				}),
@@ -130,9 +161,21 @@ func measureOnline(name string, env *experiments.Env, recs []position.Record) on
 			if err != nil {
 				b.Fatal(err)
 			}
-			for _, r := range recs {
-				if err := eng.Ingest(r); err != nil {
-					b.Fatal(err)
+			var tc trace.Ctx
+			if mode == traceOn {
+				tc = tracer.Sample()
+			}
+			if mode == traceNone {
+				for _, r := range recs {
+					if err := eng.Ingest(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				for _, r := range recs {
+					if err := eng.IngestTraced(r, tc); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 			eng.Close()

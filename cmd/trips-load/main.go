@@ -10,6 +10,11 @@
 // baseline (-baseline, default BENCH_system.json) under the SLO
 // tolerances and exits non-zero on a regression — the CI perf gate.
 //
+// With -trace-check it forces an end-to-end trace on every 4th batch per
+// sender (X-Trace-Id), records the slowest kept trace's span tree as the
+// report's slowest_trace block, and exits non-zero if the server kept
+// none — proof the ingest→fold lineage held together under load.
+//
 // Usage:
 //
 //	trips-server -demo &                       # the system under test
@@ -46,6 +51,8 @@ func main() {
 		out      = flag.String("out", "BENCH_system.json", "output path for the run report")
 		check    = flag.Bool("check", false, "gate the run against -baseline and exit non-zero on regression")
 		baseline = flag.String("baseline", "BENCH_system.json", "baseline report for -check")
+		traceChk = flag.Bool("trace-check", false,
+			"force a trace on every 4th batch, record the slowest kept trace as slowest_trace, and fail if the server kept none")
 
 		tolThroughput = flag.Float64("tol-throughput", loadgen.DefaultTolerances().Throughput,
 			"allowed fractional records/s drop vs baseline")
@@ -84,6 +91,9 @@ func main() {
 	if *settle > 0 {
 		p.SettleTimeout = *settle
 	}
+	if *traceChk && p.TraceEvery == 0 {
+		p.TraceEvery = 4
+	}
 
 	// The -check baseline loads before the run: a missing or malformed
 	// baseline should fail in seconds, not after minutes of load.
@@ -118,6 +128,15 @@ func main() {
 		res.LateRecords, res.DuplicateRecords, res.BackloggedRecords, res.TripletsSealed,
 		res.TripsFolded, res.SubscriberEvictions, float64(res.HeapMaxBytes)/(1<<20))
 	fmt.Printf("wrote %s\n", *out)
+
+	if *traceChk {
+		if res.SlowestTrace == nil {
+			log.Fatal("trace-check: the server kept no end-to-end traces")
+		}
+		st := res.SlowestTrace
+		fmt.Printf("slowest trace %s: %.1f ms, %d spans, complete=%v, device %s\n",
+			st.ID, st.DurationMs, len(st.Spans), st.Complete, st.Device)
+	}
 
 	if *check {
 		tol := loadgen.Tolerances{

@@ -11,6 +11,7 @@ import (
 
 	"trips/internal/analytics"
 	"trips/internal/dsm"
+	"trips/internal/obs/trace"
 	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
@@ -56,12 +57,14 @@ type analyticsTee struct {
 // when leave is set. arrivedAt carries the emission's ingest-arrival stamp
 // so the freshness metric observes at fold time — the instant the triplet
 // became analytics-visible — even for deliveries that buffered across a
-// rebuild.
+// rebuild. tc is the emission's trace context (the seal span) so the fold
+// span parents correctly even for a live delivery.
 type teedEvent struct {
 	dev       position.DeviceID
 	tr        semantics.Triplet
 	at        time.Time
 	arrivedAt time.Time
+	tc        trace.Ctx
 	leave     bool
 }
 
@@ -89,7 +92,7 @@ func (t *analyticsTee) apply(a *analytics.Engine, ev teedEvent) {
 		a.DeviceLeft(ev.dev, ev.at)
 		return
 	}
-	a.Ingest(ev.dev, ev.tr)
+	a.IngestTraced(ev.dev, ev.tr, ev.tc)
 	t.observeFreshness(ev)
 }
 
@@ -104,7 +107,7 @@ func (t *analyticsTee) observeFreshness(ev teedEvent) {
 
 // Emit implements online.Emitter.
 func (t *analyticsTee) Emit(em online.Emission) {
-	t.deliver(teedEvent{dev: em.Device, tr: em.Triplet, arrivedAt: em.ArrivedAt})
+	t.deliver(teedEvent{dev: em.Device, tr: em.Triplet, arrivedAt: em.ArrivedAt, tc: em.Trace})
 }
 
 // FinalizeSession implements online.SessionFinalizer: idle-evicted devices
@@ -346,6 +349,11 @@ func (s *server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 				return
 			}
+			// Inert unless the delta carries a sampled trace. The fold span
+			// already completed the trace; this one absorbs in as a late
+			// span, extending the lineage to the subscriber's socket. On a
+			// write error the unended span is silently discarded.
+			sp := s.obs.tracer.Start(d.Trace, "sse_deliver")
 			if _, err := fmt.Fprint(w, "data: "); err != nil {
 				return
 			}
@@ -356,6 +364,7 @@ func (s *server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			flusher.Flush()
+			sp.End()
 		}
 	}
 }

@@ -54,6 +54,7 @@ import (
 	"trips/internal/dsm"
 	"trips/internal/events"
 	"trips/internal/obs"
+	"trips/internal/obs/trace"
 	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
@@ -111,6 +112,9 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 		autoRebuild = flag.Bool("auto-rebuild", false, "rebuild the analytics views automatically when they drop a backfill")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of key=value text")
+		traceSample = flag.Float64("trace-sample", 0.01, "fraction of requests head-sampled into /debug/traces (0 disables sampling; X-Trace-Id still forces a trace)")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "tail-keep threshold: sampled traces at least this slow are pinned against ring eviction")
+		traceRing   = flag.Int("trace-ring", 256, "completed traces retained in memory for /debug/traces")
 	)
 	flag.Parse()
 
@@ -128,6 +132,11 @@ func main() {
 		storeDir:     *storeDir,
 		analyticsDir: *anDir,
 		queueLen:     *ingestQueue,
+		trace: trace.Config{
+			SampleRate: *traceSample,
+			KeepOver:   *traceSlow,
+			RingSize:   *traceRing,
+		},
 	})
 	if err != nil {
 		slog.Error("startup failed", "error", err)
@@ -210,10 +219,13 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("/analytics/dwell/", s.handleDwell)
 	mux.HandleFunc("/analytics/topk", s.handleTopK)
 	mux.HandleFunc("/analytics/subscribe", s.handleSubscribe)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/traces/", s.handleTraceByID)
+	mux.HandleFunc("/debug/device/", s.handleDeviceLineage)
 	mux.Handle("/metrics", s.obs.reg.Handler())
 	mux.Handle("/healthz", obs.HealthHandler())
 	mux.Handle("/readyz", obs.ReadyHandler(s.obs.ready.Load))
-	return obs.Middleware(s.obs.http, slog.Default(), mux)
+	return obs.Middleware(s.obs.http, slog.Default(), s.obs.tracer, mux)
 }
 
 // loadOptions configures server assembly. The struct form (rather than
@@ -231,6 +243,10 @@ type loadOptions struct {
 	// When a shard's inbox fills, POST /ingest rejects with 429 instead of
 	// queueing unboundedly.
 	queueLen int
+	// trace configures the end-to-end tracer (-trace-sample / -trace-slow /
+	// -trace-ring); the zero value keeps tracing assembled but samples
+	// nothing unless a request forces itself with X-Trace-Id.
+	trace trace.Config
 	// tuneOnline, when set, adjusts the assembled online.Config just before
 	// the engine starts — a test seam for wrapping the emitter or shrinking
 	// flush windows; production callers leave it nil.
@@ -291,7 +307,7 @@ func load(opts loadOptions) (*server, error) {
 	}
 	// The observability registry exists before the subsystems so their
 	// constructors can take the per-layer instrument bundles.
-	so := newServerObs()
+	so := newServerObs(opts.trace)
 
 	// The warehouse stores every translated trip behind both engines;
 	// with -store it persists across restarts (segment log + snapshot).
@@ -301,10 +317,10 @@ func load(opts loadOptions) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
-		if wh, err = tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}, Metrics: so.store}); err != nil {
+		if wh, err = tripstore.New(tripstore.Options{Log: &tripstore.LogOptions{Store: st}, Metrics: so.store, Tracer: so.tracer}); err != nil {
 			return nil, err
 		}
-	} else if wh, err = tripstore.New(tripstore.Options{Metrics: so.store}); err != nil {
+	} else if wh, err = tripstore.New(tripstore.Options{Metrics: so.store, Tracer: so.tracer}); err != nil {
 		return nil, err
 	}
 
@@ -332,7 +348,7 @@ func load(opts loadOptions) (*server, error) {
 	// view snapshot loads first and the bootstrap replays only the
 	// warehouse tail past its fold frontiers: boot cost O(tail), not
 	// O(stored trips).
-	an := analytics.New(analytics.Config{Metrics: so.analytics})
+	an := analytics.New(analytics.Config{Metrics: so.analytics, Tracer: so.tracer})
 	if analyticsDir != "" {
 		if storeDir == "" {
 			slog.Warn("-analytics-store without -store: snapshots may cover trips a restart cannot replay")
@@ -367,6 +383,7 @@ func load(opts loadOptions) (*server, error) {
 	onlineCfg := online.Config{
 		Emitter:  wh.Emitter(s.tee),
 		Metrics:  so.online,
+		Tracer:   so.tracer,
 		QueueLen: opts.queueLen,
 	}
 	if opts.tuneOnline != nil {
@@ -409,11 +426,17 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	// The middleware made the sampling decision; the ingest root span covers
+	// this request's parse+route work, and its context rides on every record
+	// so the engine can adopt the trace. Both are inert (zero context, no
+	// buffer writes) when the request is unsampled.
+	rootSp := s.obs.tracer.Start(trace.FromContext(r.Context()), "ingest")
+	recCtx := rootSp.Ctx()
 	body := http.MaxBytesReader(w, r.Body, 64<<20)
 	// The per-record closure stays bare: request-level accounting happens
 	// once below, keeping the record route at zero added allocations (the
 	// engine's AllocsPerRun test guards the rest of the path).
-	ingest := func(rec position.Record) error { return s.engine.TryIngest(rec) }
+	ingest := func(rec position.Record) error { return s.engine.TryIngestTraced(rec, recCtx) }
 	var (
 		n   int
 		err error
@@ -424,10 +447,18 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		n, err = position.StreamCSV(body, ingest)
 	}
 	s.obs.ingestRecords.Add(int64(n))
-	s.obs.ingestSeconds.ObserveSince(start)
+	if recCtx.Sampled() {
+		s.obs.ingestSeconds.ObserveTraced(time.Since(start), recCtx.Trace.String())
+	} else {
+		s.obs.ingestSeconds.ObserveSince(start)
+	}
 	if err != nil {
+		rootSp.SetErr()
+		rootSp.End()
 		if errors.Is(err, online.ErrBacklogged) {
-			// Backpressure, not failure: don't count it as an ingest error.
+			// Backpressure, not failure: don't count it as an ingest error
+			// (the trace still errors — a 429 is exactly what tail sampling
+			// should keep).
 			s.obs.ingestRejected.Inc()
 			w.Header().Set("Retry-After", ingestRetryAfter)
 			http.Error(w, fmt.Sprintf("ingest backlogged (%d records ingested before the push-back); retry after %ss", n, ingestRetryAfter),
@@ -442,6 +473,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("%v (%d records ingested before the error)", err, n), code)
 		return
 	}
+	rootSp.End()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{"records": n})
 }

@@ -10,6 +10,7 @@ import (
 
 	"trips/internal/analytics"
 	"trips/internal/obs"
+	"trips/internal/obs/trace"
 	"trips/internal/online"
 	"trips/internal/tripstore"
 )
@@ -24,6 +25,11 @@ import (
 type serverObs struct {
 	reg  *obs.Registry
 	http *obs.HTTPMetrics
+
+	// tracer is the sampled end-to-end tracer behind /debug/traces; every
+	// subsystem that records spans (middleware, ingest, online engine,
+	// warehouse, analytics, SSE) shares this one instance.
+	tracer *trace.Tracer
 
 	online    *online.Metrics
 	store     *tripstore.Metrics
@@ -41,12 +47,15 @@ type serverObs struct {
 	ready atomic.Bool
 }
 
-func newServerObs() *serverObs {
+func newServerObs(tc trace.Config) *serverObs {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg, "trips")
+	tracer := trace.New(tc)
+	registerTraceBridges(reg, tracer)
 	return &serverObs{
 		reg:       reg,
 		http:      obs.NewHTTPMetrics(reg, "trips"),
+		tracer:    tracer,
 		online:    online.NewMetrics(reg),
 		store:     tripstore.NewMetrics(reg),
 		analytics: analytics.NewMetrics(reg),
@@ -61,6 +70,29 @@ func newServerObs() *serverObs {
 		autoRebuilds: reg.Counter("trips_analytics_auto_rebuilds_total",
 			"Automatic view rebuilds triggered by -auto-rebuild."),
 	}
+}
+
+// registerTraceBridges exposes the tracer's own counters on /metrics.
+// Tracer.Stats does not drain the span buffers, so a scrape stays cheap.
+func registerTraceBridges(r *obs.Registry, t *trace.Tracer) {
+	r.CounterFunc("trips_trace_sampled_total",
+		"Requests head-sampled (or forced via X-Trace-Id) into the tracer.",
+		func() int64 { return t.Stats().Sampled })
+	r.CounterFunc("trips_trace_kept_total",
+		"Traces finalized into the in-memory ring.",
+		func() int64 { return t.Stats().Kept })
+	r.CounterFunc("trips_trace_evicted_total",
+		"Completed traces evicted from the ring to make room.",
+		func() int64 { return t.Stats().Evicted })
+	r.CounterFunc("trips_trace_dropped_spans_total",
+		"Spans overwritten before a drain could collect them (buffer overflow).",
+		func() int64 { return t.Stats().DroppedSpans })
+	r.GaugeFunc("trips_trace_ring_traces",
+		"Completed traces currently held in the ring.",
+		func() float64 { return float64(t.Stats().Ring) })
+	r.GaugeFunc("trips_trace_pending_traces",
+		"Traces with drained spans still awaiting their terminal span or linger window.",
+		func() float64 { return float64(t.Stats().Pending) })
 }
 
 // anStatsCache caches one merged analytics snapshot per second: a scrape

@@ -54,6 +54,7 @@ import (
 
 	"trips/internal/core"
 	"trips/internal/dsm"
+	"trips/internal/obs/trace"
 	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
@@ -83,6 +84,11 @@ type Config struct {
 	// disables them. Carried across Rebuild, so histograms accumulate over
 	// view generations.
 	Metrics *Metrics
+
+	// Tracer records an analytics_fold span for every traced fold (see
+	// IngestTraced) — the terminal span that completes an end-to-end
+	// request trace; nil disables it.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -222,7 +228,15 @@ func (e *Engine) shardForRegion(r dsm.RegionID) *shard {
 // out-of-order or duplicate delivery is counted and skipped, keeping the
 // fold deterministic and idempotent against at-least-once producers.
 func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
-	e.fold(dev, t, false)
+	e.fold(dev, t, false, trace.Ctx{})
+}
+
+// IngestTraced is Ingest carrying a trace context: a sampled tc records the
+// fold as an analytics_fold span parented under the producer's seal span —
+// the terminal span of an end-to-end trace. The Emitter tee uses it with
+// each emission's context; a zero tc is exactly Ingest.
+func (e *Engine) IngestTraced(dev position.DeviceID, t semantics.Triplet, tc trace.Ctx) {
+	e.fold(dev, t, false, tc)
 }
 
 // IngestReplay folds a triplet that may already be in the views: a trip at
@@ -232,15 +246,20 @@ func (e *Engine) Ingest(dev position.DeviceID, t semantics.Triplet) {
 // emissions that overlapped the re-bootstrap — where a re-delivery is
 // expected, not a backfill that warrants RebuildRecommended.
 func (e *Engine) IngestReplay(dev position.DeviceID, t semantics.Triplet) {
-	e.fold(dev, t, true)
+	e.fold(dev, t, true, trace.Ctx{})
 }
 
-func (e *Engine) fold(dev position.DeviceID, t semantics.Triplet, replay bool) {
+func (e *Engine) fold(dev position.DeviceID, t semantics.Triplet, replay bool, tc trace.Ctx) {
 	var start time.Time
 	if e.cfg.Metrics != nil {
 		start = time.Now()
 		defer func() { e.cfg.Metrics.FoldSeconds.ObserveSince(start) }()
 	}
+	// Inert unless tc is sampled. Ending this span completes the trace (it
+	// is the tracer's terminal span name); later SSE-delivery spans absorb
+	// into the completed entry.
+	sp := e.cfg.Tracer.Start(tc, "analytics_fold")
+	sp.SetDevice(string(dev))
 	sh := e.shardOf(dev)
 	sh.mu.Lock()
 	d := sh.devices[dev]
@@ -252,6 +271,12 @@ func (e *Engine) fold(dev position.DeviceID, t semantics.Triplet, replay bool) {
 			sh.outOfOrder++
 		}
 		sh.mu.Unlock()
+		if !replay {
+			// A dropped fold means the views are missing this trip: flag the
+			// trace so the anomaly is kept and inspectable.
+			sp.SetErr()
+		}
+		sp.End()
 		return
 	}
 	d.lastFrom = t.From
@@ -353,7 +378,9 @@ func (e *Engine) fold(dev position.DeviceID, t semantics.Triplet, replay bool) {
 		Inferred:      t.Inferred,
 		Occupancy:     occ,
 		PrevOccupancy: prevOcc,
+		Trace:         sp.Ctx(),
 	})
+	sp.End()
 }
 
 // prune drops ring buckets below the retention frontier; callers hold the
@@ -491,7 +518,7 @@ type teeEmitter struct {
 }
 
 func (t *teeEmitter) Emit(em online.Emission) {
-	t.e.Ingest(em.Device, em.Triplet)
+	t.e.IngestTraced(em.Device, em.Triplet, em.Trace)
 	// The triplet is now visible in the views; the arrival stamp closes the
 	// ingest→visible freshness loop. Close/idle flushes emit without one.
 	if m := t.e.cfg.Metrics; m != nil && !em.ArrivedAt.IsZero() {

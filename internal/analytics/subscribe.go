@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trips/internal/dsm"
+	"trips/internal/obs/trace"
 	"trips/internal/position"
 	"trips/internal/semantics"
 )
@@ -37,6 +38,10 @@ type Delta struct {
 	// /metrics. Treat these fields as change signals, not absolute values.
 	Occupancy     int `json:"occupancy"`
 	PrevOccupancy int `json:"prevOccupancy,omitempty"`
+	// Trace is the fold span's context when the fold carried a sampled
+	// trace; SSE delivery starts its span under it. Process-local, excluded
+	// from the wire form.
+	Trace trace.Ctx `json:"-"`
 }
 
 // String renders the delta the way the paper prints triplets.

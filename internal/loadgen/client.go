@@ -56,9 +56,15 @@ func runDevice(ctx context.Context, hc *http.Client, addr string, stream DeviceS
 		if p.ReconnectEvery > 0 && n > 0 && n%p.ReconnectEvery == 0 && prev != nil {
 			hc.CloseIdleConnections()
 			st.reconnects++
-			sendBatch(ctx, hc, addr, prev, &st, true)
+			sendBatch(ctx, hc, addr, prev, &st, true, "")
 		}
-		if !sendBatch(ctx, hc, addr, cur, &st, false) {
+		// Redeliveries stay untraced: the forced trace describes the batch's
+		// first delivery, not the retry shape layered on top.
+		var tid string
+		if p.TraceEvery > 0 && n%p.TraceEvery == 0 {
+			tid = syntheticTraceID(string(stream.Device), n, p.Seed)
+		}
+		if !sendBatch(ctx, hc, addr, cur, &st, false, tid) {
 			return st // context canceled: stop offering load
 		}
 		prev = cur
@@ -68,9 +74,10 @@ func runDevice(ctx context.Context, hc *http.Client, addr string, stream DeviceS
 
 // sendBatch posts one CSV batch until acknowledged. Redeliveries don't
 // count into sent: the server already acked those records once, so only
-// distinct acked records feed the throughput number. Returns false only
-// when the context ends.
-func sendBatch(ctx context.Context, hc *http.Client, addr string, recs []position.Record, st *senderStats, redelivery bool) bool {
+// distinct acked records feed the throughput number. A non-empty traceID
+// rides every attempt as X-Trace-Id, forcing the server to keep the
+// request's end-to-end trace. Returns false only when the context ends.
+func sendBatch(ctx context.Context, hc *http.Client, addr string, recs []position.Record, st *senderStats, redelivery bool, traceID string) bool {
 	ds := position.NewDataset()
 	for _, r := range recs {
 		ds.Add(r)
@@ -91,6 +98,9 @@ func sendBatch(ctx context.Context, hc *http.Client, addr string, recs []positio
 			return true
 		}
 		req.Header.Set("Content-Type", "text/csv")
+		if traceID != "" {
+			req.Header.Set("X-Trace-Id", traceID)
+		}
 		st.requests++
 		resp, err := hc.Do(req)
 		if err != nil {

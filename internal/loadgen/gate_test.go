@@ -8,8 +8,8 @@ import (
 // baselineFile is a plausible committed trajectory for the gate tests.
 func baselineFile() *File {
 	return &File{
-		Suite:   "system",
-		Config:  Smoke(),
+		Suite:  "system",
+		Config: Smoke(),
 		Results: Results{
 			RecordsSent:    1800,
 			RecordsPerS:    9000,
@@ -83,8 +83,8 @@ func TestGateSlackAbsorbsTinyBaselines(t *testing.T) {
 	base, cur := baselineFile(), baselineFile()
 	base.Results.FreshnessP99S = 0.1
 	base.Results.HeapMaxBytes = 8 << 20
-	cur.Results.FreshnessP99S = 0.9      // 9x, but under 0.1*1.5+2.0
-	cur.Results.HeapMaxBytes = 40 << 20  // 5x, but under 8MB*1.5+64MB
+	cur.Results.FreshnessP99S = 0.9     // 9x, but under 0.1*1.5+2.0
+	cur.Results.HeapMaxBytes = 40 << 20 // 5x, but under 8MB*1.5+64MB
 	if fails := Check(base, cur, DefaultTolerances()); len(fails) != 0 {
 		t.Fatalf("slack terms did not absorb tiny-baseline noise: %v", fails)
 	}

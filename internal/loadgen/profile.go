@@ -45,6 +45,12 @@ type Profile struct {
 	// SlowSubscribers opens this many /analytics/subscribe streams that
 	// never read, pressuring the delta hub's eviction path.
 	SlowSubscribers int `json:"slow_subscribers"`
+	// TraceEvery forces an end-to-end trace on every Nth batch per sender
+	// by attaching a deterministic synthetic X-Trace-Id (0 disables).
+	// Forced traces are pinned in the server's trace ring, so the run
+	// leaves an inspectable lineage sample behind — the slowest one lands
+	// in the report as slowest_trace.
+	TraceEvery int `json:"trace_every"`
 	// Seed makes the workload deterministic.
 	Seed int64 `json:"seed"`
 	// SettleTimeout caps how long the run waits after the last send for

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"trips/internal/obs/trace"
 )
 
 // Results is the measured outcome of one load run: client-side counters
@@ -41,6 +43,12 @@ type Results struct {
 	// the 250ms sampler during the run — the memory ceiling the SLO gate
 	// holds.
 	HeapMaxBytes int64 `json:"heap_max_bytes"`
+
+	// SlowestTrace is the slowest end-to-end trace the run left in the
+	// server's trace ring (profiles with TraceEvery > 0): the worst
+	// request's stage breakdown becomes part of the perf artifact. Omitted
+	// on untraced runs.
+	SlowestTrace *trace.TraceView `json:"slowest_trace,omitempty"`
 }
 
 // Runner drives one load run against a live server.
@@ -173,6 +181,16 @@ func (r *Runner) Run(ctx context.Context) (Results, error) {
 	}
 	if sendWindow > 0 {
 		res.RecordsPerS = float64(total.sent) / sendWindow.Seconds()
+	}
+	if r.Profile.TraceEvery > 0 {
+		tv, err := fetchSlowestTrace(ctx, hc, r.Addr)
+		if err != nil {
+			r.logf("slowest-trace fetch: %v", err)
+		} else {
+			res.SlowestTrace = tv
+			r.logf("slowest kept trace %s: %.1f ms over %d spans (device %s)",
+				tv.ID, tv.DurationMs, len(tv.Spans), tv.Device)
+		}
 	}
 	return res, nil
 }

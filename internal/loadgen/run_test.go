@@ -2,13 +2,18 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"slices"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"trips/internal/obs"
+	"trips/internal/obs/trace"
 	"trips/internal/position"
 )
 
@@ -23,6 +28,9 @@ type fakeServer struct {
 	ingested  atomic.Int64
 	requests  atomic.Int64
 	rejectNth int64 // every Nth /ingest request answers 429
+
+	mu       sync.Mutex
+	traceIDs []string // X-Trace-Id values seen on /ingest, in arrival order
 }
 
 func newFakeServer(rejectNth int64) (*fakeServer, http.Handler) {
@@ -32,6 +40,11 @@ func newFakeServer(rejectNth int64) (*fakeServer, http.Handler) {
 	f.reg.CounterFunc("trips_online_records_total", "test", f.ingested.Load)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if tid := r.Header.Get("X-Trace-Id"); tid != "" {
+			f.mu.Lock()
+			f.traceIDs = append(f.traceIDs, tid)
+			f.mu.Unlock()
+		}
 		if n := f.requests.Add(1); f.rejectNth > 0 && n%f.rejectNth == 0 {
 			w.Header().Set("Retry-After", "0")
 			http.Error(w, "ingest backlogged", http.StatusTooManyRequests)
@@ -50,6 +63,35 @@ func newFakeServer(rejectNth int64) (*fakeServer, http.Handler) {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.Handle("/metrics", f.reg.Handler())
+	// The trace debug surface, shaped like trips-server's: the list view
+	// (spans omitted) and the per-trace span tree. Durations grow with
+	// arrival order so the last forced trace is deterministically slowest.
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		ids := append([]string(nil), f.traceIDs...)
+		f.mu.Unlock()
+		views := make([]trace.TraceView, len(ids))
+		for i, id := range ids {
+			views[i] = trace.TraceView{ID: id, DurationMs: float64(i + 1), Complete: true}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"traces": views})
+	})
+	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+		f.mu.Lock()
+		found := slices.Contains(f.traceIDs, id)
+		f.mu.Unlock()
+		if !found {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(trace.TraceView{
+			ID: id, Complete: true, DurationMs: 42,
+			Spans: []trace.SpanView{{ID: "0000000000000001", Name: "ingest"}},
+		})
+	})
 	mux.HandleFunc("/analytics/subscribe", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Write([]byte("event: hello\ndata: {}\n\n"))
@@ -135,6 +177,78 @@ func TestRunClosedLoop(t *testing.T) {
 	}
 	if res.RecordsPerS <= 0 || res.ElapsedS <= 0 {
 		t.Errorf("throughput not derived: %v records/s over %vs", res.RecordsPerS, res.ElapsedS)
+	}
+}
+
+// TestRunTraceForcing drives a traced run: every TraceEvery-th batch must
+// carry a deterministic X-Trace-Id, and the report must come back with the
+// slowest kept trace's span tree.
+func TestRunTraceForcing(t *testing.T) {
+	fake, handler := newFakeServer(0)
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	p := testProfile()
+	p.TraceEvery = 2
+	p.ReconnectEvery = 0 // isolate the trace cadence from redeliveries
+	r := &Runner{Addr: srv.URL, Profile: p, Logf: t.Logf}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fake.mu.Lock()
+	seen := append([]string(nil), fake.traceIDs...)
+	fake.mu.Unlock()
+	streams, err := BuildWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, s := range streams {
+		batches := (len(s.Records) + p.BatchSize - 1) / p.BatchSize
+		for n := 0; n < batches; n += p.TraceEvery {
+			want = append(want, syntheticTraceID(string(s.Device), n, p.Seed))
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("server saw %d traced batches, want %d", len(seen), len(want))
+	}
+	for _, id := range want {
+		if !slices.Contains(seen, id) {
+			t.Errorf("expected trace id %s never arrived", id)
+		}
+	}
+	if len(want[0]) != 32 {
+		t.Errorf("synthetic trace id %q is not 32 hex digits", want[0])
+	}
+
+	if res.SlowestTrace == nil {
+		t.Fatal("report missing slowest_trace")
+	}
+	// The fake ranks traces by arrival order, so the slowest is the last
+	// one recorded.
+	if res.SlowestTrace.ID != seen[len(seen)-1] {
+		t.Errorf("slowest_trace = %s, want the last-arrived %s", res.SlowestTrace.ID, seen[len(seen)-1])
+	}
+	if len(res.SlowestTrace.Spans) == 0 || !res.SlowestTrace.Complete {
+		t.Errorf("slowest_trace lacks its span tree: %+v", res.SlowestTrace)
+	}
+}
+
+// TestSyntheticTraceIDDeterministic pins the forced-trace identity scheme.
+func TestSyntheticTraceIDDeterministic(t *testing.T) {
+	a := syntheticTraceID("load-000", 4, 7)
+	if b := syntheticTraceID("load-000", 4, 7); a != b {
+		t.Errorf("same inputs diverged: %s vs %s", a, b)
+	}
+	if b := syntheticTraceID("load-000", 6, 7); a == b {
+		t.Error("different batches collided")
+	}
+	if len(a) != 32 {
+		t.Errorf("id %q is not 32 hex digits", a)
 	}
 }
 

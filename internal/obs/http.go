@@ -4,6 +4,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"trips/internal/obs/trace"
 )
 
 // HTTPMetrics are the server-wide request instruments the Middleware
@@ -27,19 +29,6 @@ func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
 			"HTTP requests served, by status class.", "code", code)
 	}
 	return m
-}
-
-// observe records one finished request. Nil-safe like the primitives.
-func (m *HTTPMetrics) observe(status int, d time.Duration) {
-	if m == nil {
-		return
-	}
-	m.Latency.Observe(d)
-	class := status / 100
-	if class < 1 || class > 5 {
-		class = 0
-	}
-	m.ByClass[class].Inc()
 }
 
 // statusWriter captures the status code and body size of a response. It
@@ -76,14 +65,32 @@ func (sw *statusWriter) Flush() {
 
 // Middleware wraps next with request accounting: every request is timed
 // and counted into m, and logged to logger at Info as one structured
-// access-log line (method, path, status, duration, bytes). A nil logger
-// disables logging, a nil m disables metrics; with both nil next is
-// returned unwrapped.
-func Middleware(m *HTTPMetrics, logger *slog.Logger, next http.Handler) http.Handler {
-	if m == nil && logger == nil {
+// access-log line (method, path, status, duration, bytes, trace_id). A nil
+// logger disables logging, a nil m disables metrics, a nil tracer disables
+// tracing; with all three nil next is returned unwrapped.
+//
+// With a tracer, the middleware makes the per-request head-sampling
+// decision: an inbound well-formed X-Trace-Id header forces the trace
+// (sampled and pinned), otherwise Tracer.Sample rolls. The resulting
+// context rides in the request context (trace.FromContext) for handlers to
+// start spans under, the trace ID is echoed in the X-Trace-Id response
+// header and on the access-log line, and sampled requests stamp the
+// latency histogram's exemplar.
+func Middleware(m *HTTPMetrics, logger *slog.Logger, tracer *trace.Tracer, next http.Handler) http.Handler {
+	if m == nil && logger == nil && tracer == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var tc trace.Ctx
+		if tracer != nil {
+			if id, ok := trace.ParseTraceID(r.Header.Get("X-Trace-Id")); ok {
+				tc = tracer.Force(id)
+			} else {
+				tc = tracer.Sample()
+			}
+			r = r.WithContext(trace.NewContext(r.Context(), tc))
+			w.Header().Set("X-Trace-Id", tc.Trace.String())
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
@@ -91,15 +98,30 @@ func Middleware(m *HTTPMetrics, logger *slog.Logger, next http.Handler) http.Han
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		m.observe(sw.status, elapsed)
+		if m != nil {
+			if tc.Sampled() {
+				m.Latency.ObserveTraced(elapsed, tc.Trace.String())
+			} else {
+				m.Latency.Observe(elapsed)
+			}
+			class := sw.status / 100
+			if class < 1 || class > 5 {
+				class = 0
+			}
+			m.ByClass[class].Inc()
+		}
 		if logger != nil {
-			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			attrs := []slog.Attr{
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", sw.status),
 				slog.Duration("duration", elapsed),
 				slog.Int64("bytes", sw.bytes),
-			)
+			}
+			if !tc.Trace.IsZero() {
+				attrs = append(attrs, slog.String("trace_id", tc.Trace.String()))
+			}
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		}
 	})
 }

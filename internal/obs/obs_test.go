@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"trips/internal/obs/trace"
 )
 
 func testRegistry(t *testing.T) (*Registry, *Counter, *Gauge, *Histogram) {
@@ -233,7 +235,7 @@ func TestMiddlewareAndHealth(t *testing.T) {
 		}
 		w.Write([]byte("hello"))
 	})
-	h := Middleware(m, logger, inner)
+	h := Middleware(m, logger, nil, inner)
 
 	for _, path := range []string{"/", "/missing", "/"} {
 		rec := httptest.NewRecorder()
@@ -327,5 +329,145 @@ func TestParseExpositionRejects(t *testing.T) {
 		"y_seconds_count{stage=\"clean\"} 2\n"
 	if _, err := ParseExposition(strings.NewReader(good)); err != nil {
 		t.Errorf("valid histogram exposition rejected: %v", err)
+	}
+}
+
+// TestHistogramExemplar locks the metrics→trace link: a traced observation
+// sets the exemplar, the slowest traced observation wins, the rendered
+// bucket line carries the OpenMetrics-style suffix on the covering bucket,
+// and the strict parser both tolerates well-formed exemplars and rejects
+// malformed ones.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_ex_seconds", "Exemplar carrier.", nil)
+
+	h.ObserveTraced(3*time.Millisecond, "aaaabbbbccccddddaaaabbbbccccdddd")
+	h.ObserveTraced(80*time.Millisecond, "00112233445566778899aabbccddeeff")
+	h.ObserveTraced(2*time.Millisecond, "eeeeffff0000111122223333444455aa") // slower exemplar wins
+	h.Observe(time.Second)                                                  // untraced: never an exemplar
+
+	ex, ok := h.Exemplar()
+	if !ok || ex.TraceID != "00112233445566778899aabbccddeeff" || ex.Value != 80*time.Millisecond {
+		t.Fatalf("exemplar = %+v ok=%v, want the 80ms trace", ex, ok)
+	}
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 80ms falls in the le="0.1" bucket; that line must carry the suffix.
+	want := `le="0.1"`
+	var bucketLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, want) && strings.HasPrefix(line, "test_ex_seconds_bucket") {
+			bucketLine = line
+		}
+	}
+	if !strings.Contains(bucketLine, `# {trace_id="00112233445566778899aabbccddeeff"} 0.08`) {
+		t.Fatalf("covering bucket has no exemplar:\n%s", bucketLine)
+	}
+	if got := strings.Count(out, "# {trace_id="); got != 1 {
+		t.Fatalf("exemplar count in exposition = %d, want 1:\n%s", got, out)
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition with exemplar does not parse: %v", err)
+	}
+
+	// Nil and empty-ID paths stay inert.
+	var nilH *Histogram
+	nilH.ObserveTraced(time.Second, "x")
+	if _, ok := nilH.Exemplar(); ok {
+		t.Fatal("nil histogram has exemplar")
+	}
+	h2 := r.Histogram("test_ex2_seconds", "No exemplar.", nil)
+	h2.ObserveTraced(time.Second, "")
+	if _, ok := h2.Exemplar(); ok {
+		t.Fatal("empty trace id set an exemplar")
+	}
+
+	// Malformed exemplars are rejected by the parser.
+	for name, in := range map[string]string{
+		"unbraced exemplar":     "# TYPE x gauge\nx 1 # trace_id 0.5\n",
+		"unterminated exemplar": "# TYPE x gauge\nx 1 # {trace_id=\"a\" 0.5\n",
+		"bad exemplar value":    "# TYPE x gauge\nx 1 # {trace_id=\"a\"} fast\n",
+		"bad exemplar labels":   "# TYPE x gauge\nx 1 # {trace id} 0.5\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted:\n%s", name, in)
+		}
+	}
+}
+
+// TestMiddlewareTracing drives the trace side of the middleware: forced
+// inbound X-Trace-Id, head sampling, context injection, the response
+// header echo, and trace_id on the access-log line.
+func TestMiddlewareTracing(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "test")
+	tracer := trace.New(trace.Config{SampleRate: 0, Terminal: "handler"})
+	var logBuf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	var sawCtx trace.Ctx
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		sawCtx = trace.FromContext(req.Context())
+		sp := tracer.Start(sawCtx, "handler")
+		defer sp.End()
+		w.Write([]byte("ok"))
+	})
+	h := Middleware(m, logger, tracer, inner)
+
+	// Forced: the inbound ID is honored, sampled, echoed, and logged.
+	const tid = "00112233445566778899aabbccddeeff"
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	req.Header.Set("X-Trace-Id", tid)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !sawCtx.Sampled() || !sawCtx.Forced() || sawCtx.Trace.String() != tid {
+		t.Fatalf("handler ctx = %+v, want forced %s", sawCtx, tid)
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != tid {
+		t.Errorf("response X-Trace-Id = %q, want %q", got, tid)
+	}
+	if !strings.Contains(logBuf.String(), "trace_id="+tid) {
+		t.Errorf("access log missing trace_id:\n%s", logBuf.String())
+	}
+	id, _ := trace.ParseTraceID(tid)
+	if got, ok := tracer.Get(id); !ok || !got.Complete || len(got.Spans) != 1 {
+		t.Fatalf("forced trace not kept: ok=%v %+v", ok, got)
+	}
+	// The latency histogram picked up the forced trace as its exemplar.
+	if ex, ok := m.Latency.Exemplar(); !ok || ex.TraceID != tid {
+		t.Errorf("latency exemplar = %+v ok=%v, want %s", ex, ok, tid)
+	}
+
+	// Unsampled (rate 0, no header): an ID is still issued for the log and
+	// the header, but nothing records.
+	logBuf.Reset()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/y", nil))
+	if sawCtx.Sampled() {
+		t.Fatal("rate-0 request sampled")
+	}
+	if sawCtx.Trace.IsZero() {
+		t.Fatal("unsampled request has no correlation id")
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != sawCtx.Trace.String() {
+		t.Errorf("response X-Trace-Id = %q, want %q", got, sawCtx.Trace.String())
+	}
+	if !strings.Contains(logBuf.String(), "trace_id="+sawCtx.Trace.String()) {
+		t.Errorf("access log missing correlation id:\n%s", logBuf.String())
+	}
+	if s := tracer.Stats(); s.Sampled != 1 {
+		t.Errorf("sampled count = %d, want only the forced trace", s.Sampled)
+	}
+
+	// A malformed inbound header falls back to the sampling roll.
+	req = httptest.NewRequest(http.MethodGet, "/z", nil)
+	req.Header.Set("X-Trace-Id", "not-a-trace-id")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if sawCtx.Sampled() {
+		t.Error("malformed header forced sampling")
 	}
 }

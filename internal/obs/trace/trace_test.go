@@ -1,0 +1,384 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDParseFormat(t *testing.T) {
+	id, ok := ParseTraceID("00112233445566778899aabbccddeeff")
+	if !ok {
+		t.Fatal("valid trace id rejected")
+	}
+	if got := id.String(); got != "00112233445566778899aabbccddeeff" {
+		t.Fatalf("round trip = %q", got)
+	}
+	for _, bad := range []string{
+		"",
+		"0011",
+		"00112233445566778899aabbccddeefg",   // non-hex
+		"00000000000000000000000000000000",   // zero sentinel
+		"00112233445566778899aabbccddeeff00", // too long
+		"X0112233445566778899aabbccddeeff",   // non-hex first
+	} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSamplingRates(t *testing.T) {
+	// Rate 0: IDs are still issued (log correlation) but nothing samples.
+	tr := New(Config{SampleRate: 0})
+	for i := 0; i < 100; i++ {
+		c := tr.Sample()
+		if c.Trace.IsZero() {
+			t.Fatal("unsampled context has no trace id")
+		}
+		if c.Sampled() {
+			t.Fatal("rate 0 produced a sampled context")
+		}
+	}
+	if s := tr.Stats(); s.Sampled != 0 {
+		t.Fatalf("sampled count at rate 0 = %d", s.Sampled)
+	}
+	// A span started from an unsampled context must be inert.
+	sp := tr.Start(tr.Sample(), "noop")
+	if sp.Active() {
+		t.Fatal("span active under unsampled context")
+	}
+	sp.End()
+	tr.Drain()
+	if s := tr.Stats(); s.Kept != 0 || s.Pending != 0 {
+		t.Fatalf("inert span reached assembly: %+v", s)
+	}
+
+	// Rate 1: every roll samples.
+	tr = New(Config{SampleRate: 1})
+	for i := 0; i < 100; i++ {
+		if !tr.Sample().Sampled() {
+			t.Fatal("rate 1 produced an unsampled context")
+		}
+	}
+
+	// Force: sampled and pinned regardless of rate.
+	tr = New(Config{SampleRate: 0})
+	id, _ := ParseTraceID("00112233445566778899aabbccddeeff")
+	c := tr.Force(id)
+	if !c.Sampled() || !c.Forced() || c.Trace != id {
+		t.Fatalf("Force = %+v", c)
+	}
+	if _, ok := ParseTraceID(TraceID{}.String()); ok {
+		t.Fatal("zero id parsed")
+	}
+
+	// Nil tracer: everything is a no-op.
+	var nilT *Tracer
+	if c := nilT.Sample(); c.Sampled() || !c.Trace.IsZero() {
+		t.Fatalf("nil Sample = %+v", c)
+	}
+	nsp := nilT.Start(Ctx{Flags: FlagSampled}, "x")
+	nsp.SetErr()
+	nsp.End()
+	nilT.Drain()
+	if got := nilT.Stats(); got != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", got)
+	}
+}
+
+// endTrace records a terminal span so the trace finalizes at next drain.
+func endTrace(tr *Tracer, c Ctx) {
+	sp := tr.Start(c, tr.cfg.Terminal)
+	sp.End()
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	tr := New(Config{SampleRate: 1, RingSize: 4, Terminal: "done"})
+	mkTrace := func(dev string, pin bool) TraceID {
+		c := tr.Sample()
+		sp := tr.Start(c, "work")
+		sp.SetDevice(dev)
+		if pin {
+			sp.SetErr()
+		}
+		sp.End()
+		done := tr.Start(c, "done")
+		done.End()
+		tr.Drain()
+		return c.Trace
+	}
+
+	var ids []TraceID
+	for i := 0; i < 6; i++ {
+		ids = append(ids, mkTrace(fmt.Sprintf("dev-%d", i), false))
+	}
+	// Unpinned FIFO: the 4 newest survive, oldest two evicted.
+	for _, id := range ids[:2] {
+		if _, ok := tr.Get(id); ok {
+			t.Errorf("evicted trace %s still present", id)
+		}
+	}
+	got := tr.Traces(Filter{})
+	if len(got) != 4 {
+		t.Fatalf("ring size = %d, want 4", len(got))
+	}
+	// Newest first.
+	for i, want := range []TraceID{ids[5], ids[4], ids[3], ids[2]} {
+		if got[i].ID != want {
+			t.Errorf("ring[%d] = %s, want %s", i, got[i].ID, want)
+		}
+	}
+	if s := tr.Stats(); s.Evicted != 2 || s.Kept != 6 {
+		t.Fatalf("stats = %+v, want evicted 2 kept 6", s)
+	}
+
+	// A pinned trace outlives younger unpinned ones.
+	pinned := mkTrace("pin-dev", true) // evicts ids[2]
+	for i := 0; i < 3; i++ {
+		mkTrace(fmt.Sprintf("later-%d", i), false)
+	}
+	if p, ok := tr.Get(pinned); !ok || !p.Pinned || !p.Err {
+		t.Fatalf("pinned trace gone or unpinned: ok=%v %+v", ok, p)
+	}
+
+	// All pinned: the oldest pinned is evicted.
+	small := New(Config{SampleRate: 1, RingSize: 2, Terminal: "done"})
+	var pinnedIDs []TraceID
+	for i := 0; i < 3; i++ {
+		c := small.Sample()
+		sp := small.Start(c, "work")
+		sp.SetErr()
+		sp.End()
+		endTrace(small, c)
+		small.Drain()
+		pinnedIDs = append(pinnedIDs, c.Trace)
+	}
+	if _, ok := small.Get(pinnedIDs[0]); ok {
+		t.Error("oldest pinned trace survived a fully-pinned eviction")
+	}
+	if _, ok := small.Get(pinnedIDs[2]); !ok {
+		t.Error("newest pinned trace missing")
+	}
+}
+
+func TestTailKeepDecisions(t *testing.T) {
+	tr := New(Config{SampleRate: 1, KeepOver: 10 * time.Millisecond, Terminal: "done"})
+	now := time.Now()
+
+	// Fast, clean, unforced: not pinned.
+	fast := tr.Sample()
+	sp := tr.Start(fast, "work")
+	sp.SetStart(now)
+	sp.EndAt(now.Add(time.Millisecond))
+	done := tr.Start(fast, "done")
+	done.SetStart(now.Add(time.Millisecond))
+	done.EndAt(now.Add(2 * time.Millisecond))
+	tr.Drain()
+	if got, ok := tr.Get(fast.Trace); !ok || got.Pinned {
+		t.Fatalf("fast trace: ok=%v pinned=%v, want kept unpinned", ok, got.Pinned)
+	}
+
+	// Slow: pinned by the latency threshold.
+	slow := tr.Sample()
+	sp = tr.Start(slow, "work")
+	sp.SetStart(now)
+	sp.EndAt(now.Add(50 * time.Millisecond))
+	done = tr.Start(slow, "done")
+	done.SetStart(now.Add(50 * time.Millisecond))
+	done.EndAt(now.Add(51 * time.Millisecond))
+	tr.Drain()
+	if got, ok := tr.Get(slow.Trace); !ok || !got.Pinned {
+		t.Fatalf("slow trace not pinned: ok=%v %+v", ok, got)
+	}
+
+	// Errored: pinned and flagged.
+	errc := tr.Sample()
+	sp = tr.Start(errc, "work")
+	sp.SetStart(now)
+	sp.SetErr()
+	sp.EndAt(now.Add(time.Millisecond))
+	endTrace(tr, errc)
+	tr.Drain()
+	if got, ok := tr.Get(errc.Trace); !ok || !got.Pinned || !got.Err {
+		t.Fatalf("errored trace: ok=%v %+v", ok, got)
+	}
+
+	// Forced (inbound X-Trace-Id): pinned even when fast and clean.
+	id, _ := ParseTraceID("00112233445566778899aabbccddeeff")
+	fc := tr.Force(id)
+	sp = tr.Start(fc, "work")
+	sp.SetStart(now)
+	sp.EndAt(now.Add(time.Millisecond))
+	endTrace(tr, fc)
+	tr.Drain()
+	if got, ok := tr.Get(id); !ok || !got.Pinned || !got.Forced {
+		t.Fatalf("forced trace: ok=%v %+v", ok, got)
+	}
+}
+
+func TestLingerFinalizesIncompleteTraces(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Linger: 5 * time.Millisecond, Terminal: "done"})
+	c := tr.Sample()
+	sp := tr.Start(c, "orphan")
+	sp.End()
+	tr.Drain() // pending now, too fresh to finalize
+	if got, ok := tr.Get(c.Trace); !ok || got.Complete {
+		t.Fatalf("pre-linger: ok=%v complete=%v, want pending snapshot", ok, got.Complete)
+	}
+	if s := tr.Stats(); s.Kept != 0 {
+		t.Fatalf("trace finalized before linger: %+v", s)
+	}
+	time.Sleep(10 * time.Millisecond)
+	tr.Drain()
+	got, ok := tr.Get(c.Trace)
+	if !ok || got.Complete {
+		t.Fatalf("post-linger: ok=%v complete=%v, want finalized incomplete", ok, got.Complete)
+	}
+	if s := tr.Stats(); s.Kept != 1 || s.Pending != 0 {
+		t.Fatalf("post-linger stats = %+v", s)
+	}
+}
+
+// TestLateSpanJoinsCompletedTrace: a span drained after its trace finalized
+// (SSE delivery after the fold) is appended to the completed entry.
+func TestLateSpanJoinsCompletedTrace(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Terminal: "done"})
+	c := tr.Sample()
+	root := tr.Start(c, "work")
+	root.End()
+	endTrace(tr, c)
+	tr.Drain()
+
+	late := tr.Start(c, "sse_deliver")
+	late.End()
+	tr.Drain()
+	got, ok := tr.Get(c.Trace)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	names := map[string]bool{}
+	for _, s := range got.Spans {
+		names[s.Name] = true
+	}
+	if !names["sse_deliver"] {
+		t.Fatalf("late span not absorbed: %v", names)
+	}
+}
+
+// TestConcurrentRecordDrain is the -race assertion for the lock-free span
+// buffers: many writers record while readers drain and query concurrently.
+func TestConcurrentRecordDrain(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Slots: 4, SlotSpans: 64, RingSize: 64, Terminal: "done"})
+	const writers = 8
+	const perWriter = 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c := tr.Sample()
+				sp := tr.Start(c, "work")
+				sp.SetDevice(fmt.Sprintf("dev-%d", w))
+				sp.SetShard(w)
+				sp.End()
+				endTrace(tr, c)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Drain()
+					tr.Traces(Filter{Limit: 8})
+					tr.Stats()
+				}
+			}
+		}()
+	}
+	// Wait for writers by counting completed work through stats.
+	deadline := time.After(10 * time.Second)
+	for {
+		s := tr.Stats()
+		if s.Sampled >= writers*perWriter {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("writers did not finish: %+v", s)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+	tr.Drain()
+
+	s := tr.Stats()
+	// Conservation: every started trace either completed into the ring or
+	// lost spans to slot overwrites (still pending until linger).
+	if s.Kept+int64(s.Pending)+s.DroppedSpans < writers*perWriter {
+		t.Fatalf("trace accounting hole: %+v", s)
+	}
+	if s.Ring > 64 {
+		t.Fatalf("ring overflow: %+v", s)
+	}
+}
+
+func TestViewStages(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Terminal: "done"})
+	c := tr.Sample()
+	now := time.Now()
+	for i, name := range []string{"clean", "clean", "done"} {
+		sp := tr.Start(c, name)
+		sp.SetStart(now.Add(time.Duration(i) * 10 * time.Millisecond))
+		sp.EndAt(now.Add(time.Duration(i)*10*time.Millisecond + 5*time.Millisecond))
+	}
+	tr.Drain()
+	got, ok := tr.Get(c.Trace)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	v := got.View()
+	if len(v.Spans) != 3 {
+		t.Fatalf("spans = %d", len(v.Spans))
+	}
+	if v.Stages["clean"] < 9.9 || v.Stages["clean"] > 10.1 {
+		t.Fatalf("clean stage sum = %v ms, want ~10", v.Stages["clean"])
+	}
+	if !v.Complete {
+		t.Fatal("view not complete")
+	}
+	if v.ID != c.Trace.String() {
+		t.Fatalf("view id = %s", v.ID)
+	}
+}
+
+func BenchmarkSampleUnsampled(b *testing.B) {
+	tr := New(Config{SampleRate: 0})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := tr.Sample()
+		sp := tr.Start(c, "work")
+		sp.End()
+	}
+}
+
+func BenchmarkRecordSampled(b *testing.B) {
+	tr := New(Config{SampleRate: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := tr.Sample()
+		sp := tr.Start(c, "work")
+		sp.End()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"trips/internal/obs"
+	"trips/internal/obs/trace"
 	"trips/internal/position"
 )
 
@@ -72,13 +73,17 @@ func TestIngestRouteZeroAlloc(t *testing.T) {
 }
 
 // TestIngestRouteZeroAllocInstrumented re-runs the hot-path guard with the
-// full observability stack enabled: stage-timing metrics on the engine and
-// a freshness-observing sink. Instrumentation lives at flush granularity,
-// so the per-record route must stay at zero allocations — this test is the
-// contract that keeps it there. (AllocsPerRun reads the global allocation
-// counter, so like the plain guard it measures the deterministic late-drop
-// route; admitted records trigger concurrent shard-side flush work whose
-// legitimate allocations would drown the signal.)
+// full observability stack enabled: stage-timing metrics on the engine, a
+// tracer wired in (sampling at 0, the production default posture), and a
+// freshness-observing sink. Instrumentation lives at flush granularity and
+// tracing gates everything on the record's sampled flag, so the per-record
+// route — including IngestTraced with the zero (unsampled) context that
+// every untraced request carries — must stay at zero allocations; this
+// test is the contract that keeps it there. (AllocsPerRun reads the global
+// allocation counter, so like the plain guard it measures the
+// deterministic late-drop route; admitted records trigger concurrent
+// shard-side flush work whose legitimate allocations would drown the
+// signal.)
 func TestIngestRouteZeroAllocInstrumented(t *testing.T) {
 	pl := testPipeline(t)
 	g := lcg(9)
@@ -91,6 +96,7 @@ func TestIngestRouteZeroAllocInstrumented(t *testing.T) {
 	cfg := manualConfig(sink, 2)
 	cfg.QueueLen = 8192
 	cfg.Metrics = NewMetrics(obs.NewRegistry())
+	cfg.Tracer = trace.New(trace.Config{SampleRate: 0})
 	eng, err := NewEngine(pl, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +119,19 @@ func TestIngestRouteZeroAllocInstrumented(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Errorf("instrumented late-record route allocates %.1f times per record, want 0", avg)
+	}
+	// The traced entry point with an unsampled context is the same route:
+	// tracing must cost nothing until a request is actually sampled.
+	unsampled := cfg.Tracer.Sample()
+	if unsampled.Sampled() {
+		t.Fatal("sample rate 0 produced a sampled context")
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		if err := eng.IngestTraced(late, unsampled); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("IngestTraced unsampled route allocates %.1f times per record, want 0", avg)
 	}
 	// Stage histograms filled during the seal-inducing preamble, and every
 	// sealed emission carried an arrival stamp the sink turned into a

@@ -3,6 +3,7 @@ package online
 import (
 	"time"
 
+	"trips/internal/obs/trace"
 	"trips/internal/position"
 	"trips/internal/semantics"
 )
@@ -29,6 +30,11 @@ type Emission struct {
 	// is process-local context, not part of the durable record, so it is
 	// excluded from the JSON form.
 	ArrivedAt time.Time `json:"-"`
+	// Trace is the sealing flush's span context when the flush carried a
+	// sampled trace; downstream sinks (warehouse append, analytics fold)
+	// start their spans under it. Zero — and ignored by sinks — on untraced
+	// flushes. Process-local like ArrivedAt, so excluded from JSON.
+	Trace trace.Ctx `json:"-"`
 }
 
 // Emitter is the engine's output sink. Emit is called from shard

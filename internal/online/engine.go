@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"trips/internal/annotation"
+	"trips/internal/obs/trace"
 	"trips/internal/position"
 	"trips/internal/semantics"
 )
@@ -33,6 +34,7 @@ type Engine struct {
 	emitter   Emitter
 	know      *knowledgeStore
 	anTail    annotation.Annotator // head-merge-suppressed copy for trimmed tails
+	tracer    *trace.Tracer        // nil disables span recording
 
 	shards []*shard
 	wg     sync.WaitGroup
@@ -56,10 +58,12 @@ type shard struct {
 // shardMsg is the shard inbox protocol, discriminated by kind. Records
 // travel by value: the ingest route path must not allocate per record, and
 // boxing the record behind a pointer would put one heap allocation on every
-// ingested record.
+// ingested record. The trace context rides by value for the same reason —
+// a zero tc (the untraced common case) costs nothing.
 type shardMsg struct {
 	kind  msgKind
 	rec   position.Record
+	tc    trace.Ctx
 	query *queryMsg
 	flush chan struct{} // flush barrier: run a seal pass, then close
 }
@@ -72,9 +76,12 @@ const (
 	msgFlush
 )
 
+// queryMsg is a per-device query: exactly one of reply (Snapshot) or
+// lineage (Lineage) is non-nil and selects the view.
 type queryMsg struct {
-	dev   position.DeviceID
-	reply chan Snapshot
+	dev     position.DeviceID
+	reply   chan Snapshot
+	lineage chan Lineage
 }
 
 // NewEngine validates the pipeline and starts the shard pool.
@@ -102,6 +109,7 @@ func NewEngine(pl Pipeline, cfg Config) (*Engine, error) {
 		emitter:   cfg.Emitter,
 		know:      newKnowledgeStore(pl.Model, pl.KnowledgeJoinGap, cfg.MinKnowledge),
 		anTail:    *pl.Annotator,
+		tracer:    cfg.Tracer,
 		now:       time.Now,
 	}
 	e.anTail.Cfg.Split.DisableHeadMerge = true
@@ -159,12 +167,23 @@ func (e *Engine) send(em Emission) {
 // Ingest routes one record to its device's shard, blocking when the shard
 // inbox is full (backpressure rather than drops).
 func (e *Engine) Ingest(r position.Record) error {
+	return e.IngestTraced(r, trace.Ctx{})
+}
+
+// IngestTraced is Ingest carrying a trace context. A sampled context gets
+// an enqueue stamp so the shard side can record the inbox wait as a span;
+// the zero context (the untraced common case) adds no clock read and no
+// allocation — the unsampled path is byte-for-byte the old Ingest.
+func (e *Engine) IngestTraced(r position.Record, tc trace.Ctx) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
-	e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r}
+	if tc.Sampled() {
+		tc.Enq = time.Now().UnixNano()
+	}
+	e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r, tc: tc}
 	return nil
 }
 
@@ -174,13 +193,21 @@ func (e *Engine) Ingest(r position.Record) error {
 // can bound admission rather than letting blocked requests pile up. The
 // non-blocking send keeps the zero-allocation ingest route.
 func (e *Engine) TryIngest(r position.Record) error {
+	return e.TryIngestTraced(r, trace.Ctx{})
+}
+
+// TryIngestTraced is TryIngest carrying a trace context; see IngestTraced.
+func (e *Engine) TryIngestTraced(r position.Record, tc trace.Ctx) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
+	if tc.Sampled() {
+		tc.Enq = time.Now().UnixNano()
+	}
 	select {
-	case e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r}:
+	case e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r, tc: tc}:
 		return nil
 	default:
 		e.stats.Backlogged.Add(1)
@@ -313,9 +340,13 @@ func (e *Engine) runShard(sh *shard) {
 			}
 			switch m.kind {
 			case msgRecord:
-				sh.ingest(e, m.rec)
+				sh.ingest(e, m.rec, m.tc)
 			case msgQuery:
-				m.query.reply <- sh.snapshot(e, m.query.dev)
+				if m.query.lineage != nil {
+					m.query.lineage <- sh.lineage(e, m.query.dev)
+				} else {
+					m.query.reply <- sh.snapshot(e, m.query.dev)
+				}
 			case msgFlush:
 				for _, ss := range sh.sessions {
 					if ss.pending > 0 {
@@ -352,7 +383,7 @@ func (e *Engine) runShard(sh *shard) {
 	}
 }
 
-func (sh *shard) ingest(e *Engine, r position.Record) {
+func (sh *shard) ingest(e *Engine, r position.Record, tc trace.Ctx) {
 	ss := sh.sessions[r.Device]
 	if ss == nil {
 		ss = newSession(r.Device)
@@ -360,7 +391,11 @@ func (sh *shard) ingest(e *Engine, r position.Record) {
 		sh.sessions[r.Device] = ss
 		e.stats.Sessions.Add(1)
 	}
-	switch ss.ingest(e, r) {
+	outcome := ss.ingest(e, r)
+	if tc.Sampled() && e.tracer != nil {
+		sh.traceAdmit(e, ss, tc, outcome)
+	}
+	switch outcome {
 	case admitLate:
 		e.stats.Late.Add(1)
 		return
@@ -372,6 +407,51 @@ func (sh *shard) ingest(e *Engine, r position.Record) {
 	if ss.pending >= e.cfg.FlushEvery {
 		ss.flush(e, false)
 	}
+}
+
+// traceAdmit records the shard-side fate of a sampled record: on admission
+// the session adopts the request's trace (with an explicit queue-wait span
+// from the ingest enqueue stamp to now), on a drop it records a drop span.
+// Both record at most once per traced request — a traced batch of
+// thousands of records contributes a handful of spans, not thousands — and
+// a session holding an earlier trace keeps it until its sealing flush
+// commits the stage spans.
+func (sh *shard) traceAdmit(e *Engine, ss *session, tc trace.Ctx, outcome admit) {
+	if outcome == admitOK {
+		if ss.trace.Sampled() {
+			return
+		}
+		ss.trace = tc
+		sp := e.tracer.Start(tc, "enqueue")
+		sp.SetDevice(string(ss.dev))
+		sp.SetShard(sh.id)
+		if tc.Enq > 0 {
+			sp.SetStart(time.Unix(0, tc.Enq))
+		}
+		sp.End()
+		return
+	}
+	// Dedupe drop spans by the request's root span; a parentless context
+	// (tests feeding the engine directly) records every drop.
+	if !tc.Span.IsZero() {
+		if ss.dropSpan == tc.Span {
+			return
+		}
+		ss.dropSpan = tc.Span
+	}
+	name := "drop_duplicate"
+	if outcome == admitLate {
+		name = "drop_late"
+	}
+	sp := e.tracer.Start(tc, name)
+	sp.SetDevice(string(ss.dev))
+	sp.SetShard(sh.id)
+	if outcome == admitLate {
+		// A late drop is data loss downstream of sealing — pin the trace so
+		// the affected request is inspectable after the fact.
+		sp.SetErr()
+	}
+	sp.End()
 }
 
 func (sh *shard) snapshot(e *Engine, dev position.DeviceID) Snapshot {
@@ -387,4 +467,85 @@ func (sh *shard) snapshot(e *Engine, dev position.DeviceID) Snapshot {
 		TailRecords:   ss.tail.Len(),
 		Provisional:   ss.provisional(e),
 	}
+}
+
+// Lineage is the per-device debugging view behind GET /debug/device/{id}:
+// where the device's live session sits in the pipeline right now — tail and
+// admission state, the owning shard and its inbox depth, the stage
+// breakdown of the most recent instrumented flush, and the trace (if any)
+// waiting for its sealing flush.
+type Lineage struct {
+	Device         position.DeviceID `json:"device"`
+	Shard          int               `json:"shard"`
+	TailRecords    int               `json:"tailRecords"`
+	PendingRecords int               `json:"pendingRecords"`
+	Emitted        int               `json:"emitted"`
+	SealedThrough  time.Time         `json:"sealedThrough,omitzero"`
+	Watermark      time.Time         `json:"watermark,omitzero"`
+	AdmissionFloor time.Time         `json:"admissionFloor,omitzero"`
+	// BacklogDepth is the owning shard's inbox depth when the query was
+	// served: records admitted by ingest but not yet applied.
+	BacklogDepth int `json:"backlogDepth"`
+	// ActiveTrace is the sampled trace adopted by the session and awaiting
+	// the flush that seals it, empty when none.
+	ActiveTrace string          `json:"activeTrace,omitempty"`
+	LastFlush   *FlushBreakdown `json:"lastFlush,omitempty"`
+}
+
+// FlushBreakdown is the stage timing of a session's most recent
+// instrumented flush. Stage timing runs when the engine has Metrics or the
+// session carries a sampled trace; engines with neither never populate it.
+type FlushBreakdown struct {
+	At         time.Time `json:"at"`
+	CleanMs    float64   `json:"clean_ms"`
+	AnnotateMs float64   `json:"annotate_ms"`
+	SealMs     float64   `json:"seal_ms"`
+	// Sealed is how many emissions that flush produced.
+	Sealed int `json:"sealed"`
+}
+
+// Lineage queries a device's pipeline lineage on its owning shard. ok is
+// false for a device with no live session or after Close.
+func (e *Engine) Lineage(dev position.DeviceID) (Lineage, bool) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return Lineage{}, false
+	}
+	q := &queryMsg{dev: dev, lineage: make(chan Lineage, 1)}
+	e.shardOf(dev).ch <- shardMsg{kind: msgQuery, query: q}
+	e.mu.RUnlock()
+	l := <-q.lineage
+	return l, l.Device != ""
+}
+
+func (sh *shard) lineage(e *Engine, dev position.DeviceID) Lineage {
+	ss := sh.sessions[dev]
+	if ss == nil {
+		return Lineage{}
+	}
+	l := Lineage{
+		Device:         dev,
+		Shard:          sh.id,
+		TailRecords:    ss.tail.Len(),
+		PendingRecords: ss.pending,
+		Emitted:        ss.seq,
+		SealedThrough:  ss.sealedThrough,
+		Watermark:      ss.tail.End(),
+		AdmissionFloor: ss.admissionFloor(e),
+		BacklogDepth:   len(sh.ch),
+	}
+	if ss.trace.Sampled() {
+		l.ActiveTrace = ss.trace.Trace.String()
+	}
+	if !ss.lastFlushAt.IsZero() {
+		l.LastFlush = &FlushBreakdown{
+			At:         ss.lastFlushAt,
+			CleanMs:    float64(ss.lastClean) / float64(time.Millisecond),
+			AnnotateMs: float64(ss.lastAnnotate) / float64(time.Millisecond),
+			SealMs:     float64(ss.lastSeal) / float64(time.Millisecond),
+			Sealed:     ss.lastSealed,
+		}
+	}
+	return l
 }

@@ -3,10 +3,12 @@ package online
 import "trips/internal/obs"
 
 // Metrics are the engine's optional flush-stage latency instruments. All
-// fields are nil-safe (a nil histogram discards observations), and a nil
-// *Metrics in Config disables the stage timing entirely — including the
-// time.Now calls around each stage — so the disabled engine runs exactly
-// the pre-instrumentation code path.
+// fields are nil-safe (a nil histogram discards observations), and with
+// both Metrics and Tracer nil in Config the stage timing is disabled
+// entirely — including the time.Now calls around each stage — so the
+// uninstrumented engine runs exactly the pre-instrumentation code path.
+// (A traced flush times its stages even without Metrics: the spans need
+// the same stamps.)
 //
 // The three stages partition a flush: "clean" is the incremental topology
 // cleaning pass, "annotate" the density split + learned annotation over the

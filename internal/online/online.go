@@ -70,6 +70,7 @@ import (
 	"trips/internal/cleaning"
 	"trips/internal/complement"
 	"trips/internal/dsm"
+	"trips/internal/obs/trace"
 )
 
 // Pipeline bundles the trained translation components the engine runs.
@@ -144,10 +145,16 @@ type Config struct {
 	// Emitter receives every finalized triplet. Required.
 	Emitter Emitter
 
-	// Metrics receives flush-stage latency observations (see Metrics); nil
-	// disables stage timing entirely, leaving the flush path free of clock
-	// reads.
+	// Metrics receives flush-stage latency observations (see Metrics); with
+	// both Metrics and Tracer nil, stage timing is disabled entirely,
+	// leaving the flush path free of clock reads.
 	Metrics *Metrics
+
+	// Tracer records spans for sampled records threaded in through
+	// IngestTraced/TryIngestTraced: shard enqueue, the flush stages of the
+	// flush that seals them, and drop/force-seal events. Untraced records
+	// (zero trace context) never touch it. Nil disables tracing.
+	Tracer *trace.Tracer
 
 	// fullRecompute disables the sessions' incremental clean+annotate
 	// caches, recomputing the whole tail on every flush — the shadow path

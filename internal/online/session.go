@@ -6,6 +6,7 @@ import (
 
 	"trips/internal/annotation"
 	"trips/internal/cleaning"
+	"trips/internal/obs/trace"
 	"trips/internal/position"
 	"trips/internal/semantics"
 )
@@ -69,6 +70,31 @@ type session struct {
 	// the current flush: the firstPending value swapped in when the flush
 	// started. Downstream sinks turn it into ingest→visible latency.
 	emitArrival time.Time
+
+	// trace is the sampled trace context adopted by this session (the first
+	// traced request whose record was admitted while no trace was active).
+	// The flush that seals commits the trace's stage spans and clears it;
+	// non-sealing flushes keep it so the spans land on the flush that
+	// actually finalized the request's data. Zero when untraced.
+	trace trace.Ctx
+
+	// dropSpan remembers the root span of the last traced request that had
+	// a record dropped, deduplicating drop spans per request.
+	dropSpan trace.SpanID
+
+	// emitTC is the trace context emissions carry during a flush (the seal
+	// span's context, so downstream warehouse/analytics spans nest under
+	// it); zero outside a traced flush.
+	emitTC trace.Ctx
+
+	// lastFlush* hold the stage breakdown of the most recent instrumented
+	// flush, served by Engine.Lineage. Populated only when stage timing ran
+	// (engine Metrics configured or the session traced).
+	lastFlushAt  time.Time
+	lastClean    time.Duration
+	lastAnnotate time.Duration
+	lastSeal     time.Duration
+	lastSealed   int
 
 	// clean and ann are the incremental recompute caches: the cleaning
 	// layer's stable-prefix state and the annotator's staged caches. They
@@ -142,32 +168,50 @@ func (ss *session) admissionFloor(e *Engine) time.Time {
 	return floor
 }
 
+// stageStamps captures the clock reads bracketing the clean and annotate
+// stages of one flush; the flush turns them into histogram observations,
+// trace spans, and the lineage breakdown. A nil *stageStamps (provisional
+// snapshot queries, instrumentation fully disabled) keeps the path free of
+// clock reads.
+type stageStamps struct {
+	start, afterClean, afterAnnotate time.Time
+}
+
 // translateTail runs clean+annotate over the tail: incrementally through
 // the session's caches — re-cleaning from the last stable anchor and
 // re-annotating the unstable suffix window — or from scratch when the
-// engine's differential-shadow knob disables the caches. A non-nil m times
-// the two stages; flushes pass the engine's metrics, provisional snapshot
-// queries pass nil so the flush-stage histograms stay clean.
-func (ss *session) translateTail(e *Engine, m *Metrics) (cleaning.Report, *semantics.Sequence) {
+// engine's differential-shadow knob disables the caches. A non-nil st
+// stamps the stage boundaries; flushes pass one when metrics or tracing
+// consume the timings, provisional snapshot queries pass nil so the
+// flush-stage instruments stay clean.
+func (ss *session) translateTail(e *Engine, st *stageStamps) (cleaning.Report, *semantics.Sequence) {
 	if e.cfg.fullRecompute {
+		if st != nil {
+			st.start = time.Now()
+		}
 		cleaned, rep := e.pl.Cleaner.Clean(ss.tail)
-		return rep, e.annotatorFor(ss).Annotate(cleaned)
+		if st != nil {
+			st.afterClean = time.Now()
+		}
+		sem := e.annotatorFor(ss).Annotate(cleaned)
+		if st != nil {
+			st.afterAnnotate = time.Now()
+		}
+		return rep, sem
 	}
-	var t0 time.Time
-	if m != nil {
-		t0 = time.Now()
+	if st != nil {
+		st.start = time.Now()
 	}
 	cleaned, rep := e.pl.Cleaner.CleanFrom(&ss.clean, ss.tail, ss.admissionFloor(e))
-	if m != nil {
-		m.CleanSeconds.ObserveSince(t0)
-		t0 = time.Now()
+	if st != nil {
+		st.afterClean = time.Now()
 	}
 	if ss.ann == nil {
 		ss.ann = e.annotatorFor(ss).NewIncremental()
 	}
 	sem := ss.ann.Annotate(cleaned, ss.clean.StableSince())
-	if m != nil {
-		m.AnnotateSeconds.ObserveSince(t0)
+	if st != nil {
+		st.afterAnnotate = time.Now()
 	}
 	return rep, sem
 }
@@ -211,17 +255,30 @@ func (ss *session) flush(e *Engine, sealAll bool) {
 	e.stats.Flushes.Add(1)
 
 	m := e.cfg.Metrics
-	rep, sem := ss.translateTail(e, m)
+	traced := e.tracer != nil && ss.trace.Sampled()
+	var stamps stageStamps
+	var st *stageStamps
+	if m != nil || traced {
+		st = &stamps
+	}
+	rep, sem := ss.translateTail(e, st)
 	if ss.clean.StableSince() > 0 {
 		// This flush re-cleaned only from the stable anchor forward. The
 		// counter lives here rather than in translateTail so provisional
 		// snapshot queries don't inflate the flush cache-hit rate.
 		e.stats.IncrementalFlushes.Add(1)
 	}
-	var sealStart time.Time
-	if m != nil {
-		sealStart = time.Now()
+	var sealSp trace.SpanRec
+	if traced {
+		// The seal span opens before emission so warehouse/analytics spans
+		// can nest under it via the Emission's trace context. If this flush
+		// ends up sealing nothing the span is discarded unended (inert) and
+		// the session keeps its trace for the flush that does seal.
+		sealSp = e.tracer.Start(ss.trace, "seal")
+		sealSp.SetDevice(string(ss.dev))
+		ss.emitTC = sealSp.Ctx()
 	}
+	seq0 := ss.seq
 	watermark := ss.tail.End()
 
 	// Trailing invalid run: cleaned values there still depend on a future
@@ -268,9 +325,53 @@ func (ss *session) flush(e *Engine, sealAll bool) {
 	} else {
 		ss.maybeTrim(e, sem, invalid)
 	}
-	if m != nil {
-		m.SealSeconds.ObserveSince(sealStart)
+	// Count after trimming so force-seal emissions show in the breakdown.
+	sealed := ss.seq - seq0
+
+	if st != nil {
+		sealEnd := time.Now()
+		dClean := stamps.afterClean.Sub(stamps.start)
+		dAnnotate := stamps.afterAnnotate.Sub(stamps.afterClean)
+		dSeal := sealEnd.Sub(stamps.afterAnnotate)
+		if m != nil {
+			if traced {
+				tid := ss.trace.Trace.String()
+				m.CleanSeconds.ObserveTraced(dClean, tid)
+				m.AnnotateSeconds.ObserveTraced(dAnnotate, tid)
+				m.SealSeconds.ObserveTraced(dSeal, tid)
+			} else {
+				m.CleanSeconds.Observe(dClean)
+				m.AnnotateSeconds.Observe(dAnnotate)
+				m.SealSeconds.Observe(dSeal)
+			}
+		}
+		ss.lastFlushAt = sealEnd
+		ss.lastClean = dClean
+		ss.lastAnnotate = dAnnotate
+		ss.lastSeal = dSeal
+		ss.lastSealed = sealed
 	}
+
+	if traced {
+		if sealed > 0 || sealAll {
+			// This flush finalized the traced request's data: commit the
+			// stage spans, close the seal span, and release the session's
+			// trace so the next sampled request can adopt it.
+			cl := e.tracer.Start(ss.trace, "clean")
+			cl.SetDevice(string(ss.dev))
+			cl.SetStart(stamps.start)
+			cl.EndAt(stamps.afterClean)
+			an := e.tracer.Start(ss.trace, "annotate")
+			an.SetDevice(string(ss.dev))
+			an.SetStart(stamps.afterClean)
+			an.EndAt(stamps.afterAnnotate)
+			sealSp.End()
+			ss.trace = trace.Ctx{}
+		}
+		// else: sealSp is dropped unended (never recorded) and ss.trace
+		// survives for the sealing flush.
+	}
+	ss.emitTC = trace.Ctx{}
 }
 
 // emit finalizes one triplet: complement the gap from the previously
@@ -281,7 +382,7 @@ func (ss *session) emit(e *Engine, t semantics.Triplet, watermark time.Time) {
 	t.LastIdx += ss.base
 	if ss.hasLast && e.pl.Complementor != nil {
 		for _, inf := range e.know.inferGap(e.pl.Complementor, ss.dev, ss.last, t) {
-			e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: inf, Watermark: watermark, ArrivedAt: ss.emitArrival})
+			e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: inf, Watermark: watermark, ArrivedAt: ss.emitArrival, Trace: ss.emitTC})
 			ss.seq++
 			e.stats.Inferred.Add(1)
 		}
@@ -292,7 +393,7 @@ func (ss *session) emit(e *Engine, t semantics.Triplet, watermark time.Time) {
 		}
 		ss.lastKnow, ss.hasLastKnow = t, true
 	}
-	e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: t, Watermark: watermark, ArrivedAt: ss.emitArrival})
+	e.send(Emission{Device: ss.dev, Seq: ss.seq, Triplet: t, Watermark: watermark, ArrivedAt: ss.emitArrival, Trace: ss.emitTC})
 	ss.seq++
 	ss.last, ss.hasLast = t, true
 	if t.To.After(ss.sealedThrough) {
@@ -388,6 +489,14 @@ func (ss *session) forceSeal(e *Engine, sem *semantics.Sequence) {
 	copy(rest, ss.tail.Records[cut:])
 	ss.restartTail(rest, cut)
 	e.stats.ForcedSeals.Add(1)
+	if e.tracer != nil && ss.emitTC.Sampled() {
+		// A forced seal truncated the traced request's dwell: mark the trace
+		// kept so the exactness loss is inspectable after the fact.
+		sp := e.tracer.Start(ss.emitTC, "force_seal")
+		sp.SetDevice(string(ss.dev))
+		sp.SetKeep()
+		sp.End()
+	}
 }
 
 // provisional recomputes the tail and returns the not-yet-sealed triplets,

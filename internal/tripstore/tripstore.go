@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"trips/internal/core"
+	"trips/internal/obs/trace"
 	"trips/internal/online"
 	"trips/internal/position"
 	"trips/internal/semantics"
@@ -94,6 +95,10 @@ type Options struct {
 	// Metrics receives segment-write, snapshot, and query latency
 	// observations; nil disables them.
 	Metrics *Metrics
+
+	// Tracer records a warehouse_append span for every traced emission the
+	// Emitter files (see online.Emission.Trace); nil disables it.
+	Tracer *trace.Tracer
 }
 
 // ErrClosed is returned by operations on a closed warehouse.
@@ -117,8 +122,9 @@ type Warehouse struct {
 	// (the engine outlived it) — zero in a correctly ordered shutdown.
 	droppedEmits int
 
-	log     *segmentLog // nil = memory-only
-	metrics *Metrics    // nil = uninstrumented
+	log     *segmentLog   // nil = memory-only
+	metrics *Metrics      // nil = uninstrumented
+	tracer  *trace.Tracer // nil = untraced
 	// inflight counts detached batches whose disk write is still running;
 	// Close waits for them so a failed write's requeued batch is retried
 	// by Close itself rather than stranded after a nil return.
@@ -133,6 +139,7 @@ func New(opts Options) (*Warehouse, error) {
 		byID:    make(map[string]*posting),
 		byTag:   make(map[string]*posting),
 		metrics: opts.Metrics,
+		tracer:  opts.Tracer,
 	}
 	if opts.Log != nil {
 		log, err := openSegmentLog(*opts.Log)
@@ -293,15 +300,21 @@ type storeEmitter struct {
 }
 
 func (se *storeEmitter) Emit(e online.Emission) {
+	// Inert unless the emission carries a sampled trace context (the
+	// sealing flush's seal span).
+	sp := se.w.tracer.Start(e.Trace, "warehouse_append")
+	sp.SetDevice(string(e.Device))
 	// The engine's contract has no error path. A failed segment write
 	// requeues its batch (the data surfaces on a later Flush/Close), but
 	// an emission after Warehouse.Close is genuinely lost — close the
 	// engine before the warehouse; DroppedEmissions counts violations.
 	if err := se.w.Insert(Trip{Device: e.Device, Seq: e.Seq, Triplet: e.Triplet}); err != nil {
+		sp.SetErr()
 		se.w.mu.Lock()
 		se.w.droppedEmits++
 		se.w.mu.Unlock()
 	}
+	sp.End()
 	if se.next != nil {
 		se.next.Emit(e)
 	}
