@@ -94,6 +94,7 @@ func run(out string, floors, shops, devices int, seed int64, hours, noise, floor
 
 	// Ground truth: dense traces and true semantics.
 	truthDS := position.NewDataset()
+	//trips:commutative per-device truth files are keyed by device; truth.csv is sorted by SaveFile
 	for dev, truth := range truths {
 		truthDS.AddSequence(truth.Records)
 		if err := truth.Semantics.Save(filepath.Join(out, "truth", string(dev)+".json")); err != nil {
@@ -110,9 +111,9 @@ func run(out string, floors, shops, devices int, seed int64, hours, noise, floor
 	ed := events.NewEditor()
 	segs := simul.TrainingSegments(raw, truths, perEvent)
 	count := 0
-	for ev, list := range segs {
-		for _, recs := range list {
-			if err := ed.AddSegment(events.LabeledSegment{Event: ev, Device: recs[0].Device, Records: recs}); err != nil {
+	for _, es := range segs {
+		for _, recs := range es.Segments {
+			if err := ed.AddSegment(events.LabeledSegment{Event: es.Event, Device: recs[0].Device, Records: recs}); err != nil {
 				return err
 			}
 			count++

@@ -110,6 +110,7 @@ func (s *server) cachedAnStats() (analytics.Stats, int64) {
 	c := &s.anCache
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//trips:allow wallclock: stats cache freshness check, operational only
 	if c.at.IsZero() || time.Since(c.at) > time.Second {
 		an := s.analytics()
 		c.st = an.Stats()
@@ -117,6 +118,7 @@ func (s *server) cachedAnStats() (analytics.Stats, int64) {
 		for _, r := range an.Occupancy(0) {
 			c.occupancy += int64(r.Occupancy)
 		}
+		//trips:allow wallclock: stats cache timestamp, operational only
 		c.at = time.Now()
 	}
 	return c.st, c.occupancy
@@ -253,6 +255,7 @@ func (s *server) registerBridges() {
 			if st.Watermark.IsZero() {
 				return 0
 			}
+			//trips:allow wallclock: watermark-lag gauge deliberately compares wall time to event time
 			return time.Since(st.Watermark).Seconds()
 		})
 	r.GaugeFunc("trips_analytics_snapshot_age_seconds",
@@ -278,6 +281,7 @@ func (s *server) checkRebuild(auto bool) {
 	if !auto {
 		return
 	}
+	//trips:allow wallclock: auto-rebuild duration metric
 	start := time.Now()
 	fresh, err := s.rebuildAnalytics()
 	if err != nil {
@@ -289,6 +293,7 @@ func (s *server) checkRebuild(auto bool) {
 	slog.Info("analytics views rebuilt automatically",
 		"droppedFolds", st.OutOfOrder,
 		"tripsFolded", fresh.Stats().Trips,
+		//trips:allow wallclock: auto-rebuild duration metric
 		"duration", time.Since(start))
 }
 

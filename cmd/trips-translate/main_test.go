@@ -35,9 +35,9 @@ func genInputs(t *testing.T) (dsmPath, dataPath, eventsPath string) {
 		t.Fatal(err)
 	}
 	ed := events.NewEditor()
-	for ev, list := range simul.TrainingSegments(raw, truths, 20) {
-		for _, recs := range list {
-			if err := ed.AddSegment(events.LabeledSegment{Event: ev, Device: recs[0].Device, Records: recs}); err != nil {
+	for _, es := range simul.TrainingSegments(raw, truths, 20) {
+		for _, recs := range es.Segments {
+			if err := ed.AddSegment(events.LabeledSegment{Event: es.Event, Device: recs[0].Device, Records: recs}); err != nil {
 				t.Fatal(err)
 			}
 		}

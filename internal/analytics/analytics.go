@@ -252,6 +252,7 @@ func (e *Engine) IngestReplay(dev position.DeviceID, t semantics.Triplet) {
 func (e *Engine) fold(dev position.DeviceID, t semantics.Triplet, replay bool, tc trace.Ctx) {
 	var start time.Time
 	if e.cfg.Metrics != nil {
+		//trips:allow wallclock: fold latency metric
 		start = time.Now()
 		defer func() { e.cfg.Metrics.FoldSeconds.ObserveSince(start) }()
 	}
@@ -393,6 +394,7 @@ func (sh *shard) prune(min int64, ringLen int) {
 		return
 	}
 	if sh.minRetained == math.MinInt64 || min-sh.minRetained > int64(ringLen) {
+		//trips:commutative prune deletes by predicate; the surviving set is order-independent
 		for idx := range sh.ring {
 			if idx < min {
 				delete(sh.ring, idx)
@@ -598,9 +600,11 @@ func (e *Engine) Stats() Stats {
 		st.DeviceLeaves += sh.leaves
 		// Distinct pairs merge across shards: the same transition folded on
 		// two shards is one flow, exactly as Flows() reports it.
+		//trips:commutative set union across shards; order-independent
 		for k := range sh.flows {
 			flows[k] = true
 		}
+		//trips:commutative set union across shards; order-independent
 		for r := range sh.visits {
 			regions[r] = true
 		}
@@ -615,6 +619,7 @@ func (e *Engine) Stats() Stats {
 	st.RebuildRecommended = st.OutOfOrder > 0
 	if ms := e.lastSnapshot.Load(); ms != 0 {
 		st.LastSnapshot = time.UnixMilli(ms).UTC()
+		//trips:allow wallclock: snapshot freshness gauge, operational only
 		st.SnapshotAgeSeconds = time.Since(st.LastSnapshot).Seconds()
 	}
 	st.SnapshotErrors = e.snapshotErrors.Load()
@@ -660,17 +665,21 @@ func (e *Engine) Occupancy(activeWithin time.Duration) []RegionOccupancy {
 	}
 	for _, sh := range e.shards {
 		sh.mu.Lock()
+		//trips:commutative per-shard counts merge by addition; order-independent
 		for r, n := range sh.visits {
 			visits[r] += n
 		}
+		//trips:commutative every shard stores the same tag for a region; last write wins identically
 		for r, tag := range sh.tags {
 			tags[r] = tag
 		}
 		if cutoff.IsZero() {
+			//trips:commutative per-shard counts merge by addition; order-independent
 			for r, n := range sh.occupancy {
 				occ[r] += n
 			}
 		} else {
+			//trips:commutative per-device occupancy increments sum; order-independent
 			for _, d := range sh.devices {
 				if d.region != "" && !d.lastTo.Before(cutoff) {
 					occ[d.region]++
@@ -680,6 +689,7 @@ func (e *Engine) Occupancy(activeWithin time.Duration) []RegionOccupancy {
 		sh.mu.Unlock()
 	}
 	out := make([]RegionOccupancy, 0, len(visits))
+	//trips:commutative row collection; iteration order is erased by the sort below
 	for r, v := range visits {
 		out = append(out, RegionOccupancy{RegionID: r, Region: tags[r], Occupancy: occ[r], Visits: v})
 	}
@@ -713,17 +723,20 @@ func (e *Engine) Flows(region dsm.RegionID, limit int) []Flow {
 	tags := make(map[dsm.RegionID]string)
 	for _, sh := range e.shards {
 		sh.mu.Lock()
+		//trips:commutative per-shard counts merge by addition; order-independent
 		for k, n := range sh.flows {
 			if region == "" || k.from == region || k.to == region {
 				sum[k] += n
 			}
 		}
+		//trips:commutative every shard stores the same tag for a region; last write wins identically
 		for r, tag := range sh.tags {
 			tags[r] = tag
 		}
 		sh.mu.Unlock()
 	}
 	out := make([]Flow, 0, len(sum))
+	//trips:commutative row collection; iteration order is erased by the sort below
 	for k, n := range sum {
 		out = append(out, Flow{From: k.from, FromTag: tags[k.from], To: k.to, ToTag: tags[k.to], Count: n})
 	}
@@ -792,20 +805,24 @@ func (e *Engine) TopK(k int, window time.Duration) []RegionCount {
 	tags := make(map[dsm.RegionID]string)
 	for _, sh := range e.shards {
 		sh.mu.Lock()
+		//trips:commutative per-shard counts merge by addition; order-independent
 		for idx, b := range sh.ring {
 			if idx < min {
 				continue
 			}
+			//trips:commutative per-shard counts merge by addition; order-independent
 			for r, n := range b {
 				sum[r] += n
 			}
 		}
+		//trips:commutative every shard stores the same tag for a region; last write wins identically
 		for r, tag := range sh.tags {
 			tags[r] = tag
 		}
 		sh.mu.Unlock()
 	}
 	out := make([]RegionCount, 0, len(sum))
+	//trips:commutative row collection; iteration order is erased by the sort below
 	for r, n := range sum {
 		out = append(out, RegionCount{RegionID: r, Region: tags[r], Count: n})
 	}
@@ -866,9 +883,11 @@ func (e *Engine) Snapshot() Snapshot {
 	minRetained := e.globalMinRetained()
 	for _, sh := range e.shards {
 		sh.mu.Lock()
+		//trips:commutative set union across shards; order-independent
 		for r := range sh.dwell {
 			regions[r] = true
 		}
+		//trips:commutative bucket merge by addition; order-independent
 		for idx, b := range sh.ring {
 			if idx < minRetained {
 				continue
@@ -878,6 +897,7 @@ func (e *Engine) Snapshot() Snapshot {
 				dst = make(map[dsm.RegionID]int64)
 				buckets[idx] = dst
 			}
+			//trips:commutative per-shard counts merge by addition; order-independent
 			for r, n := range b {
 				dst[r] += n
 			}
@@ -885,6 +905,7 @@ func (e *Engine) Snapshot() Snapshot {
 		sh.mu.Unlock()
 	}
 	ids := make([]dsm.RegionID, 0, len(regions))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for r := range regions {
 		ids = append(ids, r)
 	}
@@ -895,6 +916,7 @@ func (e *Engine) Snapshot() Snapshot {
 		}
 	}
 	idxs := make([]int64, 0, len(buckets))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for idx := range buckets {
 		idxs = append(idxs, idx)
 	}
@@ -903,6 +925,7 @@ func (e *Engine) Snapshot() Snapshot {
 	for _, idx := range idxs {
 		rb := RingBucket{Start: time.Unix(idx*ws, 0).UTC()}
 		rs := make([]dsm.RegionID, 0, len(buckets[idx]))
+		//trips:commutative key collection; iteration order is erased by the sort below
 		for r := range buckets[idx] {
 			rs = append(rs, r)
 		}

@@ -226,6 +226,7 @@ func (e *Engine) capture() *snapshotDoc {
 		if sh.watermark.After(doc.Watermark) {
 			doc.Watermark = sh.watermark
 		}
+		//trips:commutative devices are disjoint across shards; merge is keyed by device
 		for dev, d := range sh.devices {
 			doc.Devices.States = append(doc.Devices.States, deviceDoc{
 				Device:     dev,
@@ -238,17 +239,21 @@ func (e *Engine) capture() *snapshotDoc {
 				frontier = d.lastFrom
 			}
 		}
+		//trips:commutative per-shard counts merge by addition; order-independent
 		for r, n := range sh.visits {
 			visits[r] += n
 		}
+		//trips:commutative every shard stores the same tag for a region; last write wins identically
 		for r, tag := range sh.tags {
 			if tag != "" {
 				tags[r] = tag
 			}
 		}
+		//trips:commutative per-shard counts merge by addition; order-independent
 		for k, n := range sh.flows {
 			flows[k] += n
 		}
+		//trips:commutative dwell stats merge by addition; order-independent
 		for r, h := range sh.dwell {
 			dst := dwell[r]
 			if dst == nil {
@@ -257,6 +262,7 @@ func (e *Engine) capture() *snapshotDoc {
 			}
 			dst.merge(h)
 		}
+		//trips:commutative bucket merge by addition; order-independent
 		for idx, b := range sh.ring {
 			if idx < minRetained {
 				continue // lingering below the global frontier; see Snapshot
@@ -266,6 +272,7 @@ func (e *Engine) capture() *snapshotDoc {
 				dst = make(map[dsm.RegionID]int64)
 				ring[idx] = dst
 			}
+			//trips:commutative per-shard counts merge by addition; order-independent
 			for r, n := range b {
 				dst[r] += n
 			}
@@ -285,6 +292,7 @@ func (e *Engine) capture() *snapshotDoc {
 	for _, r := range sortedRegions(visits) {
 		doc.Regions.Rows = append(doc.Regions.Rows, regionDoc{Region: r, Tag: tags[r], Visits: visits[r]})
 	}
+	//trips:commutative row collection; iteration order is erased by the sort below
 	for k := range flows {
 		doc.Flows.Rows = append(doc.Flows.Rows, flowDoc{From: k.from, To: k.to, Count: flows[k]})
 	}
@@ -306,6 +314,7 @@ func (e *Engine) capture() *snapshotDoc {
 		})
 	}
 	idxs := make([]int64, 0, len(ring))
+	//trips:commutative row collection; iteration order is erased by the sort below
 	for idx := range ring {
 		idxs = append(idxs, idx)
 	}
@@ -322,6 +331,7 @@ func (e *Engine) capture() *snapshotDoc {
 
 func sortedRegions[V any](m map[dsm.RegionID]V) []dsm.RegionID {
 	out := make([]dsm.RegionID, 0, len(m))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for r := range m {
 		out = append(out, r)
 	}
@@ -343,6 +353,7 @@ func (e *Engine) SaveSnapshot(opts StoreOptions) (err error) {
 		return errors.New("analytics: StoreOptions.Store is required")
 	}
 	doc := e.capture()
+	//trips:allow wallclock: SavedAt is a provenance stamp on the snapshot file, not event time
 	doc.SavedAt = time.Now().UTC()
 	if opts.Sync != nil {
 		if err := opts.Sync(); err != nil {

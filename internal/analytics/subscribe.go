@@ -142,6 +142,7 @@ func (h *Hub) publish(d Delta) {
 		return
 	}
 	var full []*Subscription
+	//trips:commutative delivery to independent per-subscriber channels; inter-subscriber order is unobservable
 	for s := range h.subs {
 		if !d.matches(s.regions) {
 			continue

@@ -30,6 +30,7 @@ func TrainEventModel(ts events.TrainingSet, clf Classifier) (*EventModel, error)
 	}
 	byEvent := ts.ByEvent()
 	labels := make([]semantics.Event, 0, len(byEvent))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for ev := range byEvent {
 		labels = append(labels, ev)
 	}
@@ -280,6 +281,7 @@ func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm
 		// iteration order must not decide snippet boundaries.
 		best := raw[i]
 		bestCnt := votes[best]
+		//trips:commutative max scan with a deterministic tie-break: the record's own label wins, else the smallest ID
 		for l, c := range votes {
 			if c > bestCnt || (c == bestCnt && best != raw[i] && l < best) {
 				best, bestCnt = l, c
@@ -385,6 +387,7 @@ func (a *Annotator) matchRegion(sn Snippet, labels []dsm.RegionID) (string, dsm.
 		// Highest vote; ties resolve to the lexicographically first ID for
 		// determinism.
 		ids := make([]dsm.RegionID, 0, len(votes))
+		//trips:commutative key collection; iteration order is erased by the sort below
 		for id := range votes {
 			ids = append(ids, id)
 		}

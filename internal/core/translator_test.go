@@ -36,9 +36,9 @@ func newFixture(t testing.TB, devices int) *fixture {
 	// Event training data derived from ground truth (the Event Editor
 	// designation, done programmatically).
 	ed := events.NewEditor()
-	for ev, segs := range simul.TrainingSegments(ds, truths, 12) {
-		for _, recs := range segs {
-			if err := ed.AddSegment(events.LabeledSegment{Event: ev, Device: recs[0].Device, Records: recs}); err != nil {
+	for _, es := range simul.TrainingSegments(ds, truths, 12) {
+		for _, recs := range es.Segments {
+			if err := ed.AddSegment(events.LabeledSegment{Event: es.Event, Device: recs[0].Device, Records: recs}); err != nil {
 				t.Fatal(err)
 			}
 		}

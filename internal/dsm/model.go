@@ -149,6 +149,7 @@ func (m *Model) buildFloorIndexes() {
 		fi.regions = append(fi.regions, r)
 	}
 	m.floorList = m.floorList[:0]
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for f := range m.floors {
 		m.floorList = append(m.floorList, f)
 	}

@@ -77,7 +77,17 @@ func (m *Model) buildNavGraph() error {
 	g.adj = make([][]navEdge, len(g.nodes))
 
 	// Intra-partition edges: all connector nodes sharing a partition.
-	for _, idxs := range g.byPartition {
+	// Partitions are visited in sorted order so adjacency lists are built
+	// identically across runs: edge order breaks ties between equal-cost
+	// paths, which must not depend on map iteration.
+	partIDs := make([]EntityID, 0, len(g.byPartition))
+	//trips:commutative key collection; iteration order is erased by the sort below
+	for p := range g.byPartition {
+		partIDs = append(partIDs, p)
+	}
+	sort.Slice(partIDs, func(i, j int) bool { return partIDs[i] < partIDs[j] })
+	for _, p := range partIDs {
+		idxs := g.byPartition[p]
 		for i := 0; i < len(idxs); i++ {
 			for j := i + 1; j < len(idxs); j++ {
 				a, b := idxs[i], idxs[j]
@@ -91,8 +101,16 @@ func (m *Model) buildNavGraph() error {
 		}
 	}
 
-	// Vertical edges between shafts of the same group on adjacent floors.
-	for _, idxs := range shaftByGroup {
+	// Vertical edges between shafts of the same group on adjacent floors,
+	// again in sorted group order for deterministic edge lists.
+	groups := make([]string, 0, len(shaftByGroup))
+	//trips:commutative key collection; iteration order is erased by the sort below
+	for gr := range shaftByGroup {
+		groups = append(groups, gr)
+	}
+	sort.Strings(groups)
+	for _, gr := range groups {
+		idxs := shaftByGroup[gr]
 		sort.Slice(idxs, func(i, j int) bool {
 			return g.nodes[idxs[i]].floor < g.nodes[idxs[j]].floor
 		})
@@ -341,6 +359,7 @@ func (m *Model) buildRegionAdjacency() {
 		m.regAdj[b] = append(m.regAdj[b], a)
 	}
 	// Shared partitions.
+	//trips:commutative addPair dedupes and regAdj is sorted after construction
 	for _, regs := range cover {
 		for i := 0; i < len(regs); i++ {
 			for j := i + 1; j < len(regs); j++ {
@@ -374,6 +393,7 @@ func (m *Model) buildRegionAdjacency() {
 			shaftRegions[e.verticalGroup()] = append(shaftRegions[e.verticalGroup()], rid)
 		}
 	}
+	//trips:commutative addPair dedupes and regAdj is sorted after construction
 	for _, regs := range shaftRegions {
 		for i := 0; i < len(regs); i++ {
 			for j := i + 1; j < len(regs); j++ {
@@ -382,6 +402,7 @@ func (m *Model) buildRegionAdjacency() {
 		}
 	}
 	// Deterministic neighbor order.
+	//trips:commutative in-place sort of each adjacency list; key visit order is irrelevant
 	for id := range m.regAdj {
 		sort.Slice(m.regAdj[id], func(i, j int) bool { return m.regAdj[id][i] < m.regAdj[id][j] })
 	}

@@ -91,6 +91,7 @@ func (e *Editor) Pattern(ev semantics.Event) (Pattern, bool) {
 // Patterns returns all patterns sorted by event name.
 func (e *Editor) Patterns() []Pattern {
 	out := make([]Pattern, 0, len(e.patterns))
+	//trips:commutative pattern collection; iteration order is erased by the sort below
 	for _, p := range e.patterns {
 		out = append(out, p)
 	}

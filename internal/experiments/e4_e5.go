@@ -64,7 +64,14 @@ func cleaningRow(env *Env, em simul.ErrorModel, euclid bool) ([]string, error) {
 	cl.UseEuclidean = euclid
 	var errBefore, errAfter float64
 	var flBeforeOK, flAfterOK, n, repairs int
-	for dev, truth := range truths {
+	// Devices in sorted order: the error sums are floating-point, so the
+	// accumulation order must not depend on map iteration or the reported
+	// table wobbles in its last digits across runs.
+	for _, dev := range raw.Devices() {
+		truth, ok := truths[dev]
+		if !ok {
+			continue
+		}
 		seq := raw.Sequence(dev)
 		cleaned, rep := cl.Clean(seq)
 		repairs += rep.Modified()

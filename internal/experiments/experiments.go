@@ -65,9 +65,9 @@ func NewEnv(spec EnvSpec) (*Env, error) {
 		return nil, err
 	}
 	ed := events.NewEditor()
-	for ev, list := range simul.TrainingSegments(raw, truths, 40) {
-		for _, recs := range list {
-			if err := ed.AddSegment(events.LabeledSegment{Event: ev, Device: recs[0].Device, Records: recs}); err != nil {
+	for _, es := range simul.TrainingSegments(raw, truths, 40) {
+		for _, recs := range es.Segments {
+			if err := ed.AddSegment(events.LabeledSegment{Event: es.Event, Device: recs[0].Device, Records: recs}); err != nil {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -149,5 +150,28 @@ func TestSyntheticFloorplanClasses(t *testing.T) {
 	}
 	if !wall || !door || !free {
 		t.Errorf("classes: wall=%v door=%v free=%v", wall, door, free)
+	}
+}
+
+// cleaningRow accumulates floating-point error sums per device; before the
+// loop was forced through sorted device order the accumulation followed map
+// iteration, so the reported averages could wobble in their last digits
+// between runs of the same experiment. Regression: repeated rows must match
+// cell-for-cell.
+func TestCleaningRowDeterministic(t *testing.T) {
+	env := smallEnv(t)
+	em := simul.DefaultErrorModel()
+	first, err := cleaningRow(env, em, false)
+	if err != nil {
+		t.Fatalf("cleaningRow: %v", err)
+	}
+	for run := 0; run < 2; run++ {
+		again, err := cleaningRow(env, em, false)
+		if err != nil {
+			t.Fatalf("cleaningRow: %v", err)
+		}
+		if !slices.Equal(first, again) {
+			t.Fatalf("run %d: row changed\nfirst: %v\nagain: %v", run+1, first, again)
+		}
 	}
 }

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NewAtomicField returns the atomicfield analyzer: a struct field (or
+// package-level variable) whose address is ever passed to a sync/atomic
+// function must be accessed through sync/atomic everywhere. A mixed plain
+// read or write is a data race the -race detector only catches when the
+// schedule happens to interleave the two — this catches it on every
+// schedule. The analyzer is whole-program: the atomic use and the plain
+// access are typically in different files or packages (that is exactly why
+// reviews miss them), so it collects across every package of the batch and
+// reports in a Finish pass.
+func NewAtomicField() *Analyzer {
+	type access struct {
+		pos     token.Pos
+		display string // file-agnostic description for the diagnostic
+	}
+	atomicUses := map[types.Object]access{} // first atomic use per object
+	plainUses := map[types.Object][]access{}
+
+	an := &Analyzer{
+		Name: "atomicfield",
+		Doc: "a struct field accessed via sync/atomic anywhere must be accessed " +
+			"atomically everywhere; mixed plain/atomic access is a data race the " +
+			"race detector only catches probabilistically",
+	}
+	an.Run = func(pass *Pass) error {
+		info := pass.Info()
+
+		// atomicArg reports whether expr is the &target pointer argument of
+		// this call when the call is a sync/atomic function.
+		isAtomicCall := func(call *ast.CallExpr) bool {
+			obj := calleeObject(info, call)
+			return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+		}
+
+		// trackable resolves an expression to a watched object: a struct
+		// field selection or a package-level variable.
+		trackable := func(x ast.Expr) types.Object {
+			switch e := ast.Unparen(x).(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					return sel.Obj()
+				}
+				// Qualified package-level var (pkg.V).
+				if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+					return v
+				}
+			case *ast.Ident:
+				if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+					v.Parent() == v.Pkg().Scope() {
+					return v
+				}
+			}
+			return nil
+		}
+
+		for _, f := range pass.Files() {
+			// atomicArgs marks the &x.f nodes consumed by atomic calls so
+			// the plain-access walk can skip them (and their children).
+			atomicArgs := map[ast.Expr]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					obj := trackable(un.X)
+					if obj == nil {
+						continue
+					}
+					atomicArgs[arg] = true
+					if _, seen := atomicUses[obj]; !seen {
+						atomicUses[obj] = access{
+							pos:     un.Pos(),
+							display: pass.Fset.Position(un.Pos()).String(),
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				x, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if atomicArgs[x] {
+					return false // the sanctioned &x.f inside an atomic call
+				}
+				obj := trackable(x)
+				if obj == nil {
+					return true
+				}
+				if pass.Allowed(x) {
+					return false
+				}
+				plainUses[obj] = append(plainUses[obj], access{
+					pos:     x.Pos(),
+					display: objLabel(obj),
+				})
+				return false // don't re-record the selector's children
+			})
+		}
+		return nil
+	}
+	an.Finish = func(report func(Diagnostic)) error {
+		var diags []Diagnostic
+		for obj, first := range atomicUses {
+			for _, plain := range plainUses[obj] {
+				diags = append(diags, Diagnostic{
+					Pos:      plain.pos,
+					Analyzer: an.Name,
+					Message: fmt.Sprintf(
+						"plain access to %s, which is accessed via sync/atomic at %s: mixed plain/atomic access is a data race; use sync/atomic here too (or a typed atomic field), or justify with //trips:allow atomicfield: <reason>",
+						plain.display, first.display),
+				})
+			}
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			report(d)
+		}
+		return nil
+	}
+	return an
+}
+
+func objLabel(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return fmt.Sprintf("field %s", v.Name())
+	}
+	return fmt.Sprintf("variable %s", obj.Name())
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+// TestAtomicField loads both fixture packages in one batch: the Leak
+// diagnostic in afixuse only exists because the analyzer correlates the
+// atomic use in afix with the plain access across the package boundary.
+func TestAtomicField(t *testing.T) {
+	RunFixture(t, []*Analyzer{NewAtomicField()}, false,
+		"trips/internal/afix", "trips/internal/afixuse")
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxPkgPath/ctxTypeName identify the trace-context type that must travel
+// by value: a Ctx shared behind a pointer or parked in a global turns the
+// per-record context into cross-record shared state — exactly what the
+// by-value shardMsg/Emission threading was built to rule out (aliasing
+// races, and a hidden heap allocation on the zero-alloc ingest route).
+const (
+	ctxPkgPath  = "trips/internal/obs/trace"
+	ctxTypeName = "Ctx"
+)
+
+// NewCtxValue returns the ctxvalue analyzer: trace.Ctx moves by value,
+// never behind a pointer and never into a package-level variable.
+func NewCtxValue() *Analyzer {
+	an := &Analyzer{
+		Name: "ctxvalue",
+		Doc: "trace.Ctx must move by value: *trace.Ctx types, &ctx addresses, and " +
+			"package-level trace.Ctx variables turn the per-record trace context " +
+			"into shared mutable state and put allocations on the ingest route",
+	}
+	an.Run = func(pass *Pass) error {
+		info := pass.Info()
+
+		isCtx := func(t types.Type) bool {
+			named, ok := t.(*types.Named)
+			if !ok {
+				return false
+			}
+			obj := named.Obj()
+			return obj.Name() == ctxTypeName && obj.Pkg() != nil && obj.Pkg().Path() == ctxPkgPath
+		}
+
+		for _, f := range pass.Files() {
+			// Package-level vars of type Ctx.
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						v, ok := info.Defs[name].(*types.Var)
+						if !ok || !isCtx(v.Type()) {
+							continue
+						}
+						if pass.Allowed(vs) {
+							continue
+						}
+						pass.Reportf(name.Pos(),
+							"package-level variable %s holds trace.Ctx: the context is per-record state and must move by value, not through a global",
+							name.Name)
+					}
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.StarExpr:
+					// *trace.Ctx written as a type (param, result, field,
+					// var, conversion, map/slice element...).
+					tv, ok := info.Types[e]
+					if !ok || !tv.IsType() {
+						return true
+					}
+					ptr, ok := tv.Type.(*types.Pointer)
+					if !ok || !isCtx(ptr.Elem()) {
+						return true
+					}
+					if pass.Allowed(e) {
+						return true
+					}
+					pass.Reportf(e.Pos(),
+						"*trace.Ctx: the trace context must move by value; a pointer aliases per-record state and heap-allocates on the ingest route")
+				case *ast.UnaryExpr:
+					if e.Op != token.AND {
+						return true
+					}
+					tv, ok := info.Types[e.X]
+					if !ok || tv.Type == nil || !isCtx(tv.Type) {
+						return true
+					}
+					if pass.Allowed(e) {
+						return true
+					}
+					pass.Reportf(e.Pos(),
+						"address of trace.Ctx taken: the context must move by value, never behind a pointer")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return an
+}

@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestCtxValue(t *testing.T) {
+	RunFixture(t, []*Analyzer{NewCtxValue()}, false,
+		"trips/internal/obs/trace", "trips/internal/cfix")
+}

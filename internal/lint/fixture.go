@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the given package patterns from the fixture module rooted
+// at testdata/src/trips, runs the analyzers over them, and checks every
+// diagnostic against the fixtures' "// want" comments — the analysistest
+// convention: a trailing comment
+//
+//	x := m[k] // want "regexp" "another regexp"
+//
+// declares that each quoted regexp must match a diagnostic reported on that
+// line, and that no diagnostic may appear on a line without a matching
+// expectation. Backquoted strings are accepted too.
+func RunFixture(t *testing.T, analyzers []*Analyzer, validateDirectives bool, patterns ...string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "trips")
+	prog, err := Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	diags, err := Run(prog, analyzers, validateDirectives)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	checkWant(t, prog, diags)
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWant cross-checks diagnostics against // want expectations.
+func checkWant(t *testing.T, prog *Program, diags []Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*expectation{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := wantKey{file: pos.Filename, line: pos.Line}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+					for rest != "" {
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Fatalf("%s: bad // want comment %q: %v", pos, c.Text, err)
+						}
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad // want string %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad // want regexp %q: %v", pos, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re})
+						rest = strings.TrimSpace(rest[len(q):])
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		key := wantKey{file: pos.Filename, line: pos.Line}
+		matched := false
+		for _, exp := range wants[key] {
+			if exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", relFixture(pos.String()), d.Analyzer, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: no diagnostic matched // want %q",
+					relFixture(key.file), key.line, exp.re.String())
+			}
+		}
+	}
+}
+
+// relFixture trims the absolute testdata prefix for readable failures.
+func relFixture(p string) string {
+	if i := strings.Index(p, filepath.Join("testdata", "src")); i >= 0 {
+		return p[i:]
+	}
+	return p
+}

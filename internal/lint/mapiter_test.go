@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestMapIter(t *testing.T) {
+	RunFixture(t, []*Analyzer{NewMapIter()}, false,
+		"trips/internal/annotation", "trips/internal/util")
+}

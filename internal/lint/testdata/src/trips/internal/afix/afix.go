@@ -1,0 +1,49 @@
+// Package afix is the atomicfield fixture: fields and package variables
+// touched by sync/atomic must never see a plain access. N is exported so
+// the cross-package case (package afixuse) can leak a plain read of it.
+package afix
+
+import "sync/atomic"
+
+type Counter struct {
+	n     int64
+	N     int64
+	plain int64
+}
+
+var state int64
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.N, 1)
+}
+
+// Racy mixes a plain read into an atomic-managed field: a data race.
+func (c *Counter) Racy() int64 {
+	return c.n // want `plain access to field n, which is accessed via sync/atomic`
+}
+
+// Safe reads through sync/atomic: silent.
+func (c *Counter) Safe() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// Plain never touches atomics, so ordinary access is fine.
+func (c *Counter) Plain() int64 {
+	c.plain++
+	return c.plain
+}
+
+func Set() {
+	atomic.StoreInt64(&state, 1)
+}
+
+// Get mixes a plain read of an atomic-managed package variable.
+func Get() int64 {
+	return state // want `plain access to variable state, which is accessed via sync/atomic`
+}
+
+// GetAllowed carries a justification for the mixed access.
+func GetAllowed() int64 {
+	return state //trips:allow atomicfield: read during single-threaded init, before any goroutine starts
+}

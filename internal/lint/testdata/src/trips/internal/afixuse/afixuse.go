@@ -1,0 +1,10 @@
+// Package afixuse leaks a plain read of afix.Counter.N across the package
+// boundary — the cross-file, cross-package shape reviews miss and the
+// atomicfield analyzer's whole-program Finish pass exists to catch.
+package afixuse
+
+import "trips/internal/afix"
+
+func Leak(c *afix.Counter) int64 {
+	return c.N // want `plain access to field N, which is accessed via sync/atomic`
+}

@@ -1,0 +1,56 @@
+// Package annotation is the mapiter fixture: it sits on a
+// determinism-critical import path, so every range-over-map here must be
+// justified or rewritten. Vote reproduces the PR 1 refineByRegion bug shape.
+package annotation
+
+import "sort"
+
+// Vote picks the majority label by ranging the tally map directly: with a
+// tie, the winner depends on iteration order. This is the bug.
+func Vote(votes map[string]int) string {
+	best, bestN := "", -1
+	for label, n := range votes { // want `range over map votes in determinism-critical package trips/internal/annotation`
+		if n > bestN {
+			best, bestN = label, n
+		}
+	}
+	return best
+}
+
+// VoteSorted is the deterministic idiom: collect keys, sort, then scan. The
+// collection loop itself ranges the map, but its order is erased by the sort.
+func VoteSorted(votes map[string]int) string {
+	labels := make([]string, 0, len(votes))
+	//trips:commutative key collection; iteration order is erased by the sort below
+	for label := range votes {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	best, bestN := "", -1
+	for _, label := range labels {
+		if n := votes[label]; n > bestN {
+			best, bestN = label, n
+		}
+	}
+	return best
+}
+
+// Total shows the trailing-directive form on a genuinely commutative fold.
+func Total(votes map[string]int) int {
+	total := 0
+	for _, n := range votes { //trips:commutative integer sum is order-independent
+		total += n
+	}
+	return total
+}
+
+// FromCall ranges a map-typed call result without justification.
+func FromCall() int {
+	n := 0
+	for range index() { // want `range over map index\(\.\.\.\) in determinism-critical package`
+		n++
+	}
+	return n
+}
+
+func index() map[int]string { return map[int]string{1: "a"} }

@@ -1,0 +1,36 @@
+// Package cfix is the ctxvalue fixture: trace.Ctx must move by value —
+// pointer types, taken addresses, and package-level Ctx variables are all
+// flagged.
+package cfix
+
+import "trips/internal/obs/trace"
+
+var global trace.Ctx // want `package-level variable global holds trace\.Ctx`
+
+type holder struct {
+	p *trace.Ctx // want `\*trace\.Ctx: the trace context must move by value`
+}
+
+func byPtr(c *trace.Ctx) { // want `\*trace\.Ctx: the trace context must move by value`
+	_ = c
+}
+
+func escape(c trace.Ctx) *holder {
+	h := &holder{}
+	h.p = &c // want `address of trace\.Ctx taken`
+	return h
+}
+
+// byValue is the sanctioned shape: Ctx in, Ctx out, no aliasing.
+func byValue(c trace.Ctx) trace.Ctx {
+	_ = global
+	_ = byPtr
+	_ = escape
+	return c
+}
+
+// allowed shows a justified local alias.
+func allowed(c trace.Ctx) {
+	p := &c //trips:allow ctxvalue: short-lived local alias inside a test helper
+	_, _ = p, byValue
+}

@@ -1,0 +1,28 @@
+// Package dirfix exercises directive validation: unknown names, missing
+// reasons, malformed allows, and stale (unconsumed) directives. Checked
+// programmatically by TestDirectiveValidation, not via // want comments —
+// the diagnostics land on the directive comments themselves, which cannot
+// also carry a want expectation.
+package dirfix
+
+import "time"
+
+//trips:bogus
+var X = 1
+
+//trips:commutative
+func noReason() { _ = X }
+
+//trips:allow notananalyzer: some reason
+func badAllow() { noReason() }
+
+// stale carries a well-formed allow that nothing consumes: this package is
+// outside the wallclock scope, so the suppression is dead weight.
+func stale() time.Time {
+	badAllow()
+	//trips:allow wallclock: latency metric
+	return time.Now()
+}
+
+//trips:zeroalloc
+var floating = stale

@@ -1,0 +1,10 @@
+// Package trace is the fixture stub of trips/internal/obs/trace: just the
+// Ctx type the ctxvalue analyzer keys on, at the import path it watches.
+package trace
+
+// Ctx mirrors the real trace context: a small value type that must move by
+// value through the pipeline.
+type Ctx struct {
+	TraceID [16]byte
+	Enq     int64
+}

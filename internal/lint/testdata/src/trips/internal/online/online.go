@@ -1,0 +1,35 @@
+// Package online is the wallclock fixture: it sits on an event-time-only
+// import path, so bare wall-clock reads are flagged while the injected-clock
+// idiom and justified operational reads stay silent.
+package online
+
+import "time"
+
+type engine struct {
+	now func() time.Time
+}
+
+// Seal decides with the wall clock instead of record timestamps: the bug.
+func Seal(last time.Time) bool {
+	cutoff := time.Now()               // want `wall-clock read time\.Now in event-time package trips/internal/online`
+	if time.Since(last) > time.Minute { // want `wall-clock read time\.Since in event-time package`
+		return true
+	}
+	return last.Before(cutoff)
+}
+
+// NewEngine references time.Now without calling it — the sanctioned
+// clock-injection idiom needs no annotation.
+func NewEngine() *engine {
+	return &engine{now: time.Now}
+}
+
+// Observe is an operational metric read, justified inline.
+func Observe() time.Time {
+	return time.Now() //trips:allow wallclock: ingest-latency metric, not event-time logic
+}
+
+// Epoch calls into package time but never reads the wall clock.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}

@@ -1,0 +1,30 @@
+// This file exercises the cross-file line-collision regression:
+// online.go carries a trailing //trips:allow on ITS line 29, and the
+// bare wall-clock reads below sit on lines 29 and 30 of THIS file.
+// Directive attachment is per-file — a directive must never suppress a
+// diagnostic at the same line number of a sibling file, whether through
+// the same-line (trailing) path or the line-above (comment group) path.
+package online
+
+import "time"
+
+// pad 11: the functions below must land exactly on lines 29 and 30 so
+// pad 12: their positions collide with online.go's trailing allow
+// pad 13: directive (its line 29, comment group also ending on 29).
+// pad 14: If online.go's Observe moves, keep these aligned with the
+// pad 15: new directive line.
+// pad 16
+// pad 17
+// pad 18
+// pad 19
+// pad 20
+// pad 21
+// pad 22
+// pad 23
+// pad 24
+// pad 25
+// pad 26
+// pad 27
+// pad 28
+func Collide29() time.Time { return time.Now() } // want `wall-clock read time\.Now in event-time package`
+func Collide30() time.Time { return time.Now() } // want `wall-clock read time\.Now in event-time package`

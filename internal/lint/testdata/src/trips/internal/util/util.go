@@ -1,0 +1,19 @@
+// Package util is the negative-scope fixture: it is on none of the analyzer
+// scope lists, so the map range and wall-clock read below are silent.
+package util
+
+import "time"
+
+// Sum ranges a map outside the determinism-critical scope: no diagnostic.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Stamp reads the wall clock outside the event-time scope: no diagnostic.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,47 @@
+// Package zfix is the zeroalloc fixture: one function opted in via the
+// //trips:zeroalloc marker exercising every flagged construct, one
+// unmarked function showing the scan is opt-in, and one justified site.
+package zfix
+
+import "fmt"
+
+// Hot is marked: every allocation-risk construct below is flagged.
+//
+//trips:zeroalloc
+func Hot(m map[string]int, s []int, n int) int {
+	msg := fmt.Sprintf("n=%d", n) // want `call to fmt.Sprintf allocates`
+	msg += "!"                    // want `string concatenation allocates`
+	two := msg + msg              // want `string concatenation allocates`
+	b := make([]byte, n)          // want `make allocates`
+	s = append(s, n)              // want `append may grow its backing array`
+	m["k"] = n                    // want `map write may grow the map`
+	mm := map[int]int{}           // want `map literal allocates`
+	sl := []int{1, 2}             // want `slice literal allocates`
+	f := func() int { return n }  // want `function literal may allocate`
+	go work()                     // want `go statement allocates a goroutine`
+	bs := []byte(two)             // want `conversion copies and allocates`
+	str := string(b)              // want `string\(b\) conversion copies and allocates`
+	box(n)                        // want `argument n boxes into interface parameter`
+	var v any
+	v = n // want `assignment boxes n into interface`
+	v = nil
+	_, _, _, _, _, _ = mm, sl, f, bs, str, v
+	return len(s)
+}
+
+// Cold is not marked: the same constructs are fine here.
+func Cold(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Warm shows a justified allocation inside a marked function.
+//
+//trips:zeroalloc
+func Warm(n int) []byte {
+	buf := make([]byte, n) //trips:allow zeroalloc: one-time buffer, amortized by caller pool
+	return buf
+}
+
+func work() {}
+
+func box(v any) { _ = v }

@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestWallClock(t *testing.T) {
+	RunFixture(t, []*Analyzer{NewWallClock()}, false,
+		"trips/internal/online", "trips/internal/util")
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewZeroAlloc returns the zeroalloc analyzer: functions whose doc comment
+// carries //trips:zeroalloc (the ingest route, shardOf, the untraced
+// SpanRec path — everything an AllocsPerRun guard holds at zero) are
+// statically scanned for allocation-risk constructs. The runtime guards
+// catch a regression after the fact on one workload; this catches the
+// construct itself, on every path, at review time.
+func NewZeroAlloc() *Analyzer {
+	an := &Analyzer{
+		Name: "zeroalloc",
+		Doc: "functions marked //trips:zeroalloc must avoid allocation-risk " +
+			"constructs: fmt calls, string concatenation/conversion, closures, " +
+			"map/slice/chan literals and makes, new, append, map writes, " +
+			"goroutine launches, and interface boxing",
+	}
+	an.Run = func(pass *Pass) error {
+		for _, f := range pass.Files() {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !pass.FuncMarked(fd, dirZeroAlloc) {
+					continue
+				}
+				scanZeroAlloc(pass, fd)
+			}
+		}
+		return nil
+	}
+	return an
+}
+
+func scanZeroAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info()
+	flag := func(n ast.Node, format string, args ...any) {
+		if !pass.Allowed(n) {
+			pass.Reportf(n.Pos(), "//trips:zeroalloc function %s: "+format, append([]any{fd.Name.Name}, args...)...)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			flag(e, "function literal may allocate (closure capture escapes)")
+			return false // don't double-report its body
+		case *ast.GoStmt:
+			flag(e, "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			if t := typeOf(info, e); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					flag(e, "map literal allocates")
+				case *types.Slice:
+					flag(e, "slice literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if t := typeOf(info, e); e.Op == token.ADD && t != nil && isStringType(t) {
+				flag(e, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 {
+				if t := typeOf(info, e.Lhs[0]); t != nil && isStringType(t) {
+					flag(e, "string concatenation allocates")
+				}
+			}
+			for _, lhs := range e.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if t := typeOf(info, ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							flag(ix, "map write may grow the map")
+						}
+					}
+				}
+			}
+			checkBoxing(pass, flag, e)
+		case *ast.CallExpr:
+			checkCall(pass, flag, e)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call inside a zeroalloc function: builtins that
+// allocate, conversions that copy, fmt, and interface-boxing arguments.
+func checkCall(pass *Pass, flag func(ast.Node, string, ...any), call *ast.CallExpr) {
+	info := pass.Info()
+
+	// Conversions: T(x). Only the slice↔string pairs copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := typeOf(info, call.Args[0])
+		if from == nil {
+			return
+		}
+		if isStringType(to) && isByteOrRuneSlice(from) {
+			flag(call, "string(%s) conversion copies and allocates", typeLabel(call.Args[0]))
+		}
+		if isByteOrRuneSlice(to) && isStringType(from) {
+			flag(call, "[]byte/[]rune(string) conversion copies and allocates")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call, "make allocates")
+			case "new":
+				flag(call, "new allocates")
+			case "append":
+				flag(call, "append may grow its backing array")
+			}
+			return
+		}
+	}
+
+	// fmt.* — formatting both allocates and boxes its operands.
+	if obj := calleeObject(info, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		flag(call, "call to fmt.%s allocates", obj.Name())
+		return
+	}
+
+	// Interface boxing: a concrete argument passed to an interface
+	// parameter is heap-boxed (unless escape analysis saves it — which the
+	// zero-alloc contract must not rely on).
+	ft := typeOf(info, call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && boxes(info, pt, arg) {
+			flag(arg, "argument %s boxes into interface parameter", typeLabel(arg))
+		}
+	}
+}
+
+// checkBoxing flags assignments whose LHS is an interface and RHS concrete.
+func checkBoxing(pass *Pass, flag func(ast.Node, string, ...any), as *ast.AssignStmt) {
+	info := pass.Info()
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lt := typeOf(info, as.Lhs[i])
+		if lt == nil {
+			continue
+		}
+		if boxes(info, lt, rhs) {
+			flag(rhs, "assignment boxes %s into interface", typeLabel(rhs))
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a target of type dst heap-boxes a
+// concrete value into an interface.
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	t := typeOf(info, expr)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if _, already := t.Underlying().(*types.Interface); already {
+		return false
+	}
+	return true
+}
+
+// typeOf is info.TypeOf: it falls back to Defs/Uses for bare identifiers,
+// which the Types map does not always record, and returns nil when unknown.
+func typeOf(info *types.Info, x ast.Expr) types.Type {
+	return info.TypeOf(x)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// calleeObject resolves the function or method object a call invokes; nil
+// for indirect calls through function values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestZeroAlloc(t *testing.T) {
+	RunFixture(t, []*Analyzer{NewZeroAlloc()}, false, "trips/internal/zfix")
+}

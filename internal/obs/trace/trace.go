@@ -255,6 +255,8 @@ func (t *Tracer) rand64() uint64 {
 // context always carries a fresh trace ID — access logs correlate even for
 // unsampled requests — but only a winning roll sets the Sampled flag, and
 // only sampled contexts ever write to the span buffers. Allocation-free.
+//
+//trips:zeroalloc
 func (t *Tracer) Sample() Ctx {
 	if t == nil {
 		return Ctx{}
@@ -273,6 +275,8 @@ func (t *Tracer) Sample() Ctx {
 // Force returns a sampled, pinned context on the given trace ID — the
 // inbound X-Trace-Id path. Forced traces bypass the sampling roll and are
 // always kept in the completed ring.
+//
+//trips:zeroalloc
 func (t *Tracer) Force(id TraceID) Ctx {
 	if t == nil || id.IsZero() {
 		return Ctx{}
@@ -293,6 +297,8 @@ type SpanRec struct {
 
 // Start opens a span under parent. Inert when the tracer is nil or the
 // parent is unsampled.
+//
+//trips:zeroalloc
 func (t *Tracer) Start(parent Ctx, name string) SpanRec {
 	if t == nil || !parent.Sampled() {
 		return SpanRec{}
@@ -310,10 +316,14 @@ func (t *Tracer) Start(parent Ctx, name string) SpanRec {
 }
 
 // Active reports whether the span will record.
+//
+//trips:zeroalloc
 func (sr *SpanRec) Active() bool { return sr.t != nil }
 
 // Ctx returns the context for child spans of this one, preserving the
 // forced pin.
+//
+//trips:zeroalloc
 func (sr *SpanRec) Ctx() Ctx {
 	if sr.t == nil {
 		return Ctx{}
@@ -326,6 +336,8 @@ func (sr *SpanRec) Ctx() Ctx {
 }
 
 // SetDevice attributes the span to a device.
+//
+//trips:zeroalloc
 func (sr *SpanRec) SetDevice(dev string) {
 	if sr.t != nil {
 		sr.s.Device = dev
@@ -333,6 +345,8 @@ func (sr *SpanRec) SetDevice(dev string) {
 }
 
 // SetShard attributes the span to a worker shard.
+//
+//trips:zeroalloc
 func (sr *SpanRec) SetShard(id int) {
 	if sr.t != nil {
 		sr.s.Shard = id
@@ -340,6 +354,8 @@ func (sr *SpanRec) SetShard(id int) {
 }
 
 // SetErr marks the span failed; an errored span pins its whole trace.
+//
+//trips:zeroalloc
 func (sr *SpanRec) SetErr() {
 	if sr.t != nil {
 		sr.s.Err = true
@@ -349,6 +365,8 @@ func (sr *SpanRec) SetErr() {
 
 // SetKeep pins the trace without marking an error (force-seal and similar
 // noteworthy-but-not-failed events).
+//
+//trips:zeroalloc
 func (sr *SpanRec) SetKeep() {
 	if sr.t != nil {
 		sr.s.Keep = true
@@ -357,6 +375,8 @@ func (sr *SpanRec) SetKeep() {
 
 // SetStart back-dates the span (queue-wait spans whose extent was measured
 // before the span object existed).
+//
+//trips:zeroalloc
 func (sr *SpanRec) SetStart(at time.Time) {
 	if sr.t != nil && !at.IsZero() {
 		sr.s.Start = at

@@ -144,6 +144,8 @@ func (e *Engine) annotatorFor(ss *session) *annotation.Annotator {
 // inlined: hash.Hash32 plus io.WriteString on this path cost two heap
 // allocations per ingested record. The constants and fold order match
 // hash/fnv's New32a exactly, so shard assignment is unchanged.
+//
+//trips:zeroalloc
 func (e *Engine) shardOf(dev position.DeviceID) *shard {
 	const (
 		offset32 = 2166136261
@@ -166,6 +168,8 @@ func (e *Engine) send(em Emission) {
 
 // Ingest routes one record to its device's shard, blocking when the shard
 // inbox is full (backpressure rather than drops).
+//
+//trips:zeroalloc
 func (e *Engine) Ingest(r position.Record) error {
 	return e.IngestTraced(r, trace.Ctx{})
 }
@@ -174,6 +178,8 @@ func (e *Engine) Ingest(r position.Record) error {
 // an enqueue stamp so the shard side can record the inbox wait as a span;
 // the zero context (the untraced common case) adds no clock read and no
 // allocation — the unsampled path is byte-for-byte the old Ingest.
+//
+//trips:zeroalloc
 func (e *Engine) IngestTraced(r position.Record, tc trace.Ctx) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -181,6 +187,7 @@ func (e *Engine) IngestTraced(r position.Record, tc trace.Ctx) error {
 		return ErrClosed
 	}
 	if tc.Sampled() {
+		//trips:allow wallclock: trace enqueue stamp, operational telemetry
 		tc.Enq = time.Now().UnixNano()
 	}
 	e.shardOf(r.Device).ch <- shardMsg{kind: msgRecord, rec: r, tc: tc}
@@ -192,11 +199,15 @@ func (e *Engine) IngestTraced(r position.Record, tc trace.Ctx) error {
 // with its own backpressure channel (an HTTP ingest endpoint answering 429)
 // can bound admission rather than letting blocked requests pile up. The
 // non-blocking send keeps the zero-allocation ingest route.
+//
+//trips:zeroalloc
 func (e *Engine) TryIngest(r position.Record) error {
 	return e.TryIngestTraced(r, trace.Ctx{})
 }
 
 // TryIngestTraced is TryIngest carrying a trace context; see IngestTraced.
+//
+//trips:zeroalloc
 func (e *Engine) TryIngestTraced(r position.Record, tc trace.Ctx) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -204,6 +215,7 @@ func (e *Engine) TryIngestTraced(r position.Record, tc trace.Ctx) error {
 		return ErrClosed
 	}
 	if tc.Sampled() {
+		//trips:allow wallclock: trace enqueue stamp, operational telemetry
 		tc.Enq = time.Now().UnixNano()
 	}
 	select {
@@ -333,6 +345,7 @@ func (e *Engine) runShard(sh *shard) {
 		select {
 		case m, ok := <-sh.ch:
 			if !ok {
+				//trips:commutative sessions are per-device; flushes land in per-device partitions and commutative folds
 				for _, ss := range sh.sessions {
 					ss.flush(e, true)
 				}
@@ -348,6 +361,7 @@ func (e *Engine) runShard(sh *shard) {
 					m.query.reply <- sh.snapshot(e, m.query.dev)
 				}
 			case msgFlush:
+				//trips:commutative sessions are per-device; flushes land in per-device partitions and commutative folds
 				for _, ss := range sh.sessions {
 					if ss.pending > 0 {
 						ss.flush(e, false)
@@ -357,6 +371,7 @@ func (e *Engine) runShard(sh *shard) {
 			}
 		case <-tick:
 			now := e.now()
+			//trips:commutative sessions are per-device; flush and idle expiry are per-device decisions
 			for dev, ss := range sh.sessions {
 				if ss.pending > 0 {
 					ss.flush(e, false)

@@ -187,23 +187,28 @@ type stageStamps struct {
 func (ss *session) translateTail(e *Engine, st *stageStamps) (cleaning.Report, *semantics.Sequence) {
 	if e.cfg.fullRecompute {
 		if st != nil {
+			//trips:allow wallclock: stage latency stamp, operational telemetry
 			st.start = time.Now()
 		}
 		cleaned, rep := e.pl.Cleaner.Clean(ss.tail)
 		if st != nil {
+			//trips:allow wallclock: stage latency stamp, operational telemetry
 			st.afterClean = time.Now()
 		}
 		sem := e.annotatorFor(ss).Annotate(cleaned)
 		if st != nil {
+			//trips:allow wallclock: stage latency stamp, operational telemetry
 			st.afterAnnotate = time.Now()
 		}
 		return rep, sem
 	}
 	if st != nil {
+		//trips:allow wallclock: stage latency stamp, operational telemetry
 		st.start = time.Now()
 	}
 	cleaned, rep := e.pl.Cleaner.CleanFrom(&ss.clean, ss.tail, ss.admissionFloor(e))
 	if st != nil {
+		//trips:allow wallclock: stage latency stamp, operational telemetry
 		st.afterClean = time.Now()
 	}
 	if ss.ann == nil {
@@ -211,6 +216,7 @@ func (ss *session) translateTail(e *Engine, st *stageStamps) (cleaning.Report, *
 	}
 	sem := ss.ann.Annotate(cleaned, ss.clean.StableSince())
 	if st != nil {
+		//trips:allow wallclock: stage latency stamp, operational telemetry
 		st.afterAnnotate = time.Now()
 	}
 	return rep, sem
@@ -329,6 +335,7 @@ func (ss *session) flush(e *Engine, sealAll bool) {
 	sealed := ss.seq - seq0
 
 	if st != nil {
+		//trips:allow wallclock: stage latency stamp, operational telemetry
 		sealEnd := time.Now()
 		dClean := stamps.afterClean.Sub(stamps.start)
 		dAnnotate := stamps.afterAnnotate.Sub(stamps.afterClean)

@@ -37,6 +37,7 @@ func (d *Dataset) Sequence(dev DeviceID) *Sequence { return d.seqs[dev] }
 // order is deterministic across runs.
 func (d *Dataset) Devices() []DeviceID {
 	out := make([]DeviceID, 0, len(d.seqs))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for dev := range d.seqs {
 		out = append(out, dev)
 	}
@@ -60,6 +61,7 @@ func (d *Dataset) NumDevices() int { return len(d.seqs) }
 // NumRecords returns the total number of records.
 func (d *Dataset) NumRecords() int {
 	n := 0
+	//trips:commutative record-count sum; order-independent
 	for _, s := range d.seqs {
 		n += s.Len()
 	}
@@ -70,6 +72,7 @@ func (d *Dataset) NumRecords() int {
 // sequences; zero times for an empty dataset.
 func (d *Dataset) TimeRange() (time.Time, time.Time) {
 	var lo, hi time.Time
+	//trips:commutative min/max over sequences; order-independent
 	for _, s := range d.seqs {
 		if s.Empty() {
 			continue

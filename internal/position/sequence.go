@@ -74,6 +74,7 @@ func (s *Sequence) Floors() []dsm.FloorID {
 		seen[r.Floor] = true
 	}
 	out := make([]dsm.FloorID, 0, len(seen))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for f := range seen {
 		out = append(out, f)
 	}

@@ -47,6 +47,7 @@ func (st *Stream) Publish(r Record) {
 		return
 	}
 	snapshot := make([]*subscriber, 0, len(st.subs))
+	//trips:commutative each subscriber receives every record in publish order; inter-subscriber order is unobservable
 	for _, s := range st.subs {
 		snapshot = append(snapshot, s)
 	}

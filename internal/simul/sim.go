@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"trips/internal/dsm"
@@ -387,19 +388,39 @@ func (s *Sim) Population(count int, windowStart time.Time, window time.Duration,
 	return ds, truths, nil
 }
 
+// EventSegments groups one event's labeled training segments.
+type EventSegments struct {
+	Event    semantics.Event
+	Segments [][]position.Record
+}
+
 // TrainingSegments converts the truth of a population into labeled event
 // segments usable as Event Editor training data: for each true triplet, the
 // covered raw records become a designated segment (mirroring an analyst
 // designating segments on the map view against known behavior).
-func TrainingSegments(raw *position.Dataset, truths map[position.DeviceID]Truth, perEvent int) map[semantics.Event][][]position.Record {
-	out := make(map[semantics.Event][][]position.Record)
-	for dev, truth := range truths {
+//
+// Devices are visited in sorted order and the result is sorted by event, so
+// both which segments fill the perEvent quota and the order they reach the
+// Event Editor (and from there events.json and the trained model) are
+// deterministic. An earlier version ranged the truths map directly: with
+// more candidate triplets than perEvent, the training set itself depended on
+// map iteration order — the same bug class as PR 1's refineByRegion vote.
+func TrainingSegments(raw *position.Dataset, truths map[position.DeviceID]Truth, perEvent int) []EventSegments {
+	devs := make([]position.DeviceID, 0, len(truths))
+	//trips:commutative key collection; iteration order is erased by the sort below
+	for dev := range truths {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+
+	byEvent := make(map[semantics.Event][][]position.Record)
+	for _, dev := range devs {
 		seq := raw.Sequence(dev)
 		if seq == nil {
 			continue
 		}
-		for _, tr := range truth.Semantics.Triplets {
-			if len(out[tr.Event]) >= perEvent {
+		for _, tr := range truths[dev].Semantics.Triplets {
+			if len(byEvent[tr.Event]) >= perEvent {
 				continue
 			}
 			w := seq.TimeWindow(tr.From, tr.To)
@@ -408,8 +429,19 @@ func TrainingSegments(raw *position.Dataset, truths map[position.DeviceID]Truth,
 			}
 			cp := make([]position.Record, w.Len())
 			copy(cp, w.Records)
-			out[tr.Event] = append(out[tr.Event], cp)
+			byEvent[tr.Event] = append(byEvent[tr.Event], cp)
 		}
+	}
+
+	events := make([]semantics.Event, 0, len(byEvent))
+	//trips:commutative key collection; iteration order is erased by the sort below
+	for ev := range byEvent {
+		events = append(events, ev)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	out := make([]EventSegments, 0, len(events))
+	for _, ev := range events {
+		out = append(out, EventSegments{Event: ev, Segments: byEvent[ev]})
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package simul
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -279,18 +281,22 @@ func TestPopulationAndTrainingSegments(t *testing.T) {
 		}
 	}
 	segs := TrainingSegments(ds, truths, 10)
-	if len(segs[semantics.EventStay]) == 0 {
-		t.Error("no stay training segments")
-	}
-	for ev, list := range segs {
-		if len(list) > 10 {
-			t.Errorf("%s: %d segments exceeds perEvent", ev, len(list))
+	stays := 0
+	for _, es := range segs {
+		if es.Event == semantics.EventStay {
+			stays = len(es.Segments)
 		}
-		for _, recs := range list {
+		if len(es.Segments) > 10 {
+			t.Errorf("%s: %d segments exceeds perEvent", es.Event, len(es.Segments))
+		}
+		for _, recs := range es.Segments {
 			if len(recs) < 4 {
-				t.Errorf("%s: undersized segment", ev)
+				t.Errorf("%s: undersized segment", es.Event)
 			}
 		}
+	}
+	if stays == 0 {
+		t.Error("no stay training segments")
 	}
 }
 
@@ -310,5 +316,44 @@ func TestTruthAt(t *testing.T) {
 	}
 	if r := truthAt(s, t0.Add(time.Hour)); !r.At.Equal(t0.Add(9 * time.Second)) {
 		t.Errorf("after-end = %v", r.At)
+	}
+}
+
+// TrainingSegments draws a per-event quota from a map of device truths;
+// before the selection was forced through sorted device order, which
+// devices filled the quota — and the order of the returned events —
+// depended on map iteration, so two runs over the same population could
+// train on different segments. Regression: repeated calls must agree
+// byte-for-byte, and the events must come back sorted.
+func TestTrainingSegmentsDeterministic(t *testing.T) {
+	m := mall(t, 2, 4)
+	s := NewSim(m, 7)
+	raw, truths, err := s.Population(10, t0, 2*time.Hour, DefaultErrorModel())
+	if err != nil {
+		t.Fatalf("Population: %v", err)
+	}
+	// A tight quota forces the selection to actually drop candidates, the
+	// regime where the old map-order bug changed the chosen set.
+	first := TrainingSegments(raw, truths, 3)
+	if len(first) == 0 {
+		t.Fatal("no training segments")
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Event >= first[i].Event {
+			t.Fatalf("events out of order: %s before %s", first[i-1].Event, first[i].Event)
+		}
+	}
+	a, err := json.Marshal(first)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for run := 0; run < 5; run++ {
+		b, err := json.Marshal(TrainingSegments(raw, truths, 3))
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("run %d selected different training segments", run+1)
+		}
 	}
 }

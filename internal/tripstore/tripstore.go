@@ -205,6 +205,7 @@ func (w *Warehouse) Insert(t Trip) error {
 func (w *Warehouse) writeSegment(seq int, batch []Trip) error {
 	var start time.Time
 	if w.metrics != nil {
+		//trips:allow wallclock: segment-write latency metric
 		start = time.Now()
 	}
 	err := w.log.writeSegment(seq, batch)
@@ -402,6 +403,7 @@ func (w *Warehouse) Snapshot() error {
 	}
 	var snapStart time.Time
 	if w.metrics != nil {
+		//trips:allow wallclock: snapshot-write latency metric
 		snapStart = time.Now()
 	}
 	deleted, err := w.log.writeSnapshot(covered, dump)
@@ -490,6 +492,7 @@ func (w *Warehouse) Devices() []position.DeviceID {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	out := make([]position.DeviceID, 0, len(w.parts))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for dev := range w.parts {
 		out = append(out, dev)
 	}
@@ -502,6 +505,7 @@ func (w *Warehouse) Regions() []string {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	out := make([]string, 0, len(w.byID))
+	//trips:commutative key collection; iteration order is erased by the sort below
 	for id := range w.byID {
 		out = append(out, id)
 	}

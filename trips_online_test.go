@@ -29,9 +29,9 @@ func onlineTestSystem(t *testing.T, devices int, window time.Duration) (*System,
 		t.Fatal(err)
 	}
 	sys := NewSystem(model)
-	for ev, list := range simul.TrainingSegments(ds, truths, 30) {
-		for _, recs := range list {
-			if err := sys.Editor().AddSegment(LabeledSegment{Event: ev, Device: recs[0].Device, Records: recs}); err != nil {
+	for _, es := range simul.TrainingSegments(ds, truths, 30) {
+		for _, recs := range es.Segments {
+			if err := sys.Editor().AddSegment(LabeledSegment{Event: es.Event, Device: recs[0].Device, Records: recs}); err != nil {
 				t.Fatal(err)
 			}
 		}
