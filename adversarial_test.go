@@ -1,8 +1,14 @@
 package trips
 
 import (
+	"bytes"
+	"fmt"
 	"sort"
+	"sync"
 	"testing"
+	"time"
+
+	"trips/internal/simul"
 )
 
 // adversarialSchedule rewrites an in-order delivery sequence into the
@@ -139,4 +145,98 @@ func TestGoldenSurvivesAdversarialDelivery(t *testing.T) {
 		}
 	}
 	assertGolden(t, "warehouse after adversarial delivery", goldenBytes(t, got))
+}
+
+// TestOnlineMatchesBatchAdversarial is the interning differential test: on
+// a venue with many regions and a gap-free population of many devices, the
+// online pipeline — which carries region and device identity as interned
+// small-integer ids end to end and materializes strings only at the
+// emission boundary — must produce byte-identical JSON to the batch
+// Translate path, under adversarial delivery (bounded shuffle, duplicates,
+// drop-then-retry) across several schedule seeds. Run under -race (CI
+// does) the concurrent shard flushes also exercise the intern table's
+// locking. FlushEvery exceeds the per-device record count for the reason
+// documented on TestGoldenSurvivesAdversarialDelivery: a seal-free feed
+// keeps every displacement admissible, so convergence is exact.
+func TestOnlineMatchesBatchAdversarial(t *testing.T) {
+	model, err := BuildMall(MallSpec{Floors: 4, ShopsPerFloor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim(model, 99)
+	em := DefaultErrorModel()
+	em.DropoutProb = 0
+	start := time.Date(2017, 1, 1, 10, 0, 0, 0, time.UTC)
+	ds, truths, err := sim.Population(12, start, time.Hour, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(model)
+	for _, es := range simul.TrainingSegments(ds, truths, 30) {
+		for _, recs := range es.Segments {
+			if err := sys.Editor().AddSegment(LabeledSegment{Event: es.Event, Device: recs[0].Device, Records: recs}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sys.Train(""); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := sys.Translate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMap := make(map[DeviceID][]Triplet, len(batch))
+	for _, r := range batch {
+		wantMap[r.Device] = r.Final.Triplets
+	}
+	want := goldenBytes(t, wantMap)
+
+	var all []Record
+	maxPerDevice := 0
+	for _, seq := range ds.Sequences() {
+		all = append(all, seq.Records...)
+		if seq.Len() > maxPerDevice {
+			maxPerDevice = seq.Len()
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
+
+	for _, seed := range []uint64{1, 0xbeef, 0x5eed} {
+		t.Run(fmt.Sprintf("seed-%x", seed), func(t *testing.T) {
+			sched, dups := adversarialSchedule(all, seed)
+			var mu sync.Mutex
+			got := make(map[DeviceID][]Triplet)
+			eng, err := sys.NewOnline(OnlineConfig{
+				Shards:        4,
+				FlushEvery:    maxPerDevice + 1,
+				FlushInterval: -1,
+				IdleTimeout:   -1,
+				Emitter: OnlineEmitterFunc(func(e OnlineResult) {
+					mu.Lock()
+					got[e.Device] = append(got[e.Device], e.Triplet)
+					mu.Unlock()
+				}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range sched {
+				if err := eng.Ingest(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eng.Close()
+
+			st := eng.Stats()
+			if st.Late != 0 || st.Duplicates != int64(dups) || st.RecordsIn != int64(len(all)) {
+				t.Errorf("admission bookkeeping diverged: late=%d dups=%d (want %d) in=%d (want %d)",
+					st.Late, st.Duplicates, dups, st.RecordsIn, len(all))
+			}
+			if gotBytes := goldenBytes(t, got); !bytes.Equal(gotBytes, want) {
+				t.Errorf("online output diverges from batch Translate (%d vs %d bytes)", len(gotBytes), len(want))
+			}
+		})
+	}
 }

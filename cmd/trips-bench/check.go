@@ -8,12 +8,15 @@ import (
 
 // The -check mode is the online-engine perf ratchet: compare a fresh
 // -online run against the committed BENCH_online.json and fail when a
-// long-session workload's ns/record regresses past the tolerance. The
-// long-session benchmarks are the ratcheted series because they are the
-// ones whose per-record cost must hold flat as the tail grows — a
-// regression there means the incremental flush path slipped back toward
-// O(tail) work. population-1h stays informational: its record mix shifts
-// with simulator changes, so it moves for non-perf reasons.
+// long-session workload regresses past the tolerance on any ratcheted
+// axis — ns/record, bytes/op, or allocs/op. The long-session benchmarks
+// are the ratcheted series because they are the ones whose per-record
+// cost must hold flat as the tail grows — a time regression there means
+// the incremental flush path slipped back toward O(tail) work, and a
+// memory regression means a reused buffer or interned id quietly went
+// back to allocating per flush. population-1h stays informational: its
+// record mix shifts with simulator changes, so it moves for non-perf
+// reasons.
 
 // readOnlineBench loads a BENCH_online.json artifact.
 func readOnlineBench(path string) (*onlineBenchFile, error) {
@@ -37,8 +40,9 @@ func isRatcheted(name string) bool {
 }
 
 // compareOnline gates current against baseline: every ratcheted baseline
-// workload must exist in the current run with ns_per_record no more than
-// (1+tol) times the committed number. Returns one message per violation.
+// workload must exist in the current run with ns_per_record, bytes_per_op,
+// and allocs_per_op each no more than (1+tol) times the committed number.
+// Returns one message per violation.
 func compareOnline(baseline, current *onlineBenchFile, tol float64) []string {
 	cur := make(map[string]onlineBenchResult, len(current.Benchmarks))
 	for _, b := range current.Benchmarks {
@@ -56,10 +60,17 @@ func compareOnline(baseline, current *onlineBenchFile, tol float64) []string {
 			fails = append(fails, fmt.Sprintf("%s: missing from the current run — the ratchet cannot drop workloads", base.Name))
 			continue
 		}
-		ceil := base.NsPerRecord * (1 + tol)
-		if got.NsPerRecord > ceil {
+		if ceil := base.NsPerRecord * (1 + tol); got.NsPerRecord > ceil {
 			fails = append(fails, fmt.Sprintf("%s: %.0f ns/record exceeds the ratchet %.0f (baseline %.0f +%.0f%%)",
 				base.Name, got.NsPerRecord, ceil, base.NsPerRecord, tol*100))
+		}
+		if ceil := float64(base.BytesPerOp) * (1 + tol); float64(got.BytesPerOp) > ceil {
+			fails = append(fails, fmt.Sprintf("%s: %d bytes/op exceeds the ratchet %.0f (baseline %d +%.0f%%)",
+				base.Name, got.BytesPerOp, ceil, base.BytesPerOp, tol*100))
+		}
+		if ceil := float64(base.AllocsPerOp) * (1 + tol); float64(got.AllocsPerOp) > ceil {
+			fails = append(fails, fmt.Sprintf("%s: %d allocs/op exceeds the ratchet %.0f (baseline %d +%.0f%%)",
+				base.Name, got.AllocsPerOp, ceil, base.AllocsPerOp, tol*100))
 		}
 	}
 	if ratcheted == 0 {

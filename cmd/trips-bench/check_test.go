@@ -5,13 +5,21 @@ import (
 	"testing"
 )
 
+// benchResult builds one workload result with all three ratcheted axes
+// populated. Memory numbers default to a fixed footprint scaled off the
+// time so the green-path tests exercise every axis without each call
+// spelling out six values.
+func benchResult(name string, nsPerRecord float64, bytesPerOp, allocsPerOp int64) onlineBenchResult {
+	return onlineBenchResult{Name: name, NsPerRecord: nsPerRecord, BytesPerOp: bytesPerOp, AllocsPerOp: allocsPerOp}
+}
+
 func benchFile(longSession1k, longSession8k, population float64) *onlineBenchFile {
 	return &onlineBenchFile{
 		Suite: "online",
 		Benchmarks: []onlineBenchResult{
-			{Name: "long-session-1k", NsPerRecord: longSession1k},
-			{Name: "long-session-8k", NsPerRecord: longSession8k},
-			{Name: "population-1h", NsPerRecord: population},
+			benchResult("long-session-1k", longSession1k, int64(longSession1k)*100, int64(longSession1k)/10),
+			benchResult("long-session-8k", longSession8k, int64(longSession8k)*100, int64(longSession8k)/10),
+			benchResult("population-1h", population, int64(population)*100, int64(population)/10),
 		},
 	}
 }
@@ -24,12 +32,13 @@ func TestCompareOnlinePasses(t *testing.T) {
 	if fails := compareOnline(base, benchFile(12000, 17000, 22000), 0.15); len(fails) != 0 {
 		t.Fatalf("identical run failed the ratchet: %v", fails)
 	}
-	// 10% slower is inside the 15% ratchet; population 3x slower is
-	// not ratcheted at all.
+	// 10% slower is inside the 15% ratchet (the helper scales bytes and
+	// allocs with the time, so those axes drift 10% too); population 3x
+	// slower is not ratcheted at all.
 	if fails := compareOnline(base, benchFile(13200, 18700, 66000), 0.15); len(fails) != 0 {
 		t.Fatalf("in-tolerance run failed the ratchet: %v", fails)
 	}
-	// Getting faster always passes.
+	// Getting faster and leaner always passes.
 	if fails := compareOnline(base, benchFile(8000, 9000, 10000), 0.15); len(fails) != 0 {
 		t.Fatalf("faster run failed the ratchet: %v", fails)
 	}
@@ -40,12 +49,40 @@ func TestCompareOnlinePasses(t *testing.T) {
 // criterion that -check demonstrably fails on a regressed artifact.
 func TestCompareOnlineFailsOnRegression(t *testing.T) {
 	base := benchFile(12000, 17000, 22000)
-	fails := compareOnline(base, benchFile(12000, 21000, 22000), 0.15) // 8k +23.5%
-	if len(fails) != 1 {
-		t.Fatalf("ratchet returned %d failures, want exactly the 8k regression: %v", len(fails), fails)
+	cur := benchFile(12000, 21000, 22000) // 8k +23.5% on every axis
+	fails := compareOnline(base, cur, 0.15)
+	if len(fails) != 3 {
+		t.Fatalf("ratchet returned %d failures, want the 8k regression on all three axes: %v", len(fails), fails)
 	}
-	if !strings.Contains(fails[0], "long-session-8k") || !strings.Contains(fails[0], "ns/record") {
-		t.Errorf("failure does not name the regressed workload: %q", fails[0])
+	for i, axis := range []string{"ns/record", "bytes/op", "allocs/op"} {
+		if !strings.Contains(fails[i], "long-session-8k") || !strings.Contains(fails[i], axis) {
+			t.Errorf("failure %d does not name the regressed workload and axis %s: %q", i, axis, fails[i])
+		}
+	}
+}
+
+// TestCompareOnlineFailsOnMemoryRegression regresses memory while time
+// holds flat — the exact shape of a reused buffer quietly going back to
+// allocating per flush, which a time-only ratchet would wave through.
+func TestCompareOnlineFailsOnMemoryRegression(t *testing.T) {
+	base := &onlineBenchFile{Suite: "online", Benchmarks: []onlineBenchResult{
+		benchResult("long-session-1k", 12000, 800000, 400),
+	}}
+
+	bytesUp := &onlineBenchFile{Suite: "online", Benchmarks: []onlineBenchResult{
+		benchResult("long-session-1k", 12000, 1000000, 400), // +25% bytes
+	}}
+	fails := compareOnline(base, bytesUp, 0.15)
+	if len(fails) != 1 || !strings.Contains(fails[0], "bytes/op") {
+		t.Fatalf("bytes/op regression not caught: %v", fails)
+	}
+
+	allocsUp := &onlineBenchFile{Suite: "online", Benchmarks: []onlineBenchResult{
+		benchResult("long-session-1k", 12000, 800000, 600), // +50% allocs
+	}}
+	fails = compareOnline(base, allocsUp, 0.15)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
+		t.Fatalf("allocs/op regression not caught: %v", fails)
 	}
 }
 
@@ -55,8 +92,8 @@ func TestCompareOnlineFailsOnRegression(t *testing.T) {
 func TestCompareOnlineFailsOnMissingWorkload(t *testing.T) {
 	base := benchFile(12000, 17000, 22000)
 	current := &onlineBenchFile{Suite: "online", Benchmarks: []onlineBenchResult{
-		{Name: "long-session-1k", NsPerRecord: 12000},
-		{Name: "population-1h", NsPerRecord: 22000},
+		benchResult("long-session-1k", 12000, 1200000, 1200),
+		benchResult("population-1h", 22000, 2200000, 2200),
 	}}
 	fails := compareOnline(base, current, 0.15)
 	if len(fails) != 1 || !strings.Contains(fails[0], "long-session-8k") {
@@ -64,7 +101,7 @@ func TestCompareOnlineFailsOnMissingWorkload(t *testing.T) {
 	}
 	// And a baseline with nothing ratcheted is itself an error.
 	empty := &onlineBenchFile{Suite: "online", Benchmarks: []onlineBenchResult{
-		{Name: "population-1h", NsPerRecord: 22000},
+		benchResult("population-1h", 22000, 2200000, 2200),
 	}}
 	if fails := compareOnline(empty, current, 0.15); len(fails) != 1 {
 		t.Fatalf("empty ratchet baseline not caught: %v", fails)

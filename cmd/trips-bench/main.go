@@ -35,7 +35,7 @@ func main() {
 		outPath  = flag.String("out", "BENCH_online.json", "output path for -online results")
 		check    = flag.Bool("check", false, "with -online: ratchet the fresh numbers against -baseline and exit non-zero on regression")
 		baseline = flag.String("baseline", "BENCH_online.json", "committed baseline for -check")
-		tol      = flag.Float64("tolerance", 0.15, "allowed fractional ns/record growth for -check")
+		tol      = flag.Float64("tolerance", 0.15, "allowed fractional growth in ns/record, bytes/op, and allocs/op for -check")
 	)
 	flag.Parse()
 

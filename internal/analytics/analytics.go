@@ -43,7 +43,6 @@
 package analytics
 
 import (
-	"hash/fnv"
 	"io"
 	"math"
 	"runtime"
@@ -188,15 +187,18 @@ type shard struct {
 	leaves     int64
 }
 
+// newShard pre-sizes every view map for a working venue — a few dozen
+// regions, a few hundred devices per shard — so the steady-state fold never
+// pays an incremental map growth (rehash + bucket allocation) mid-ingest.
 func newShard() *shard {
 	return &shard{
-		devices:     make(map[position.DeviceID]*deviceState),
-		occupancy:   make(map[dsm.RegionID]int),
-		visits:      make(map[dsm.RegionID]int64),
-		tags:        make(map[dsm.RegionID]string),
-		flows:       make(map[flowKey]int64),
-		dwell:       make(map[dsm.RegionID]*histogram),
-		ring:        make(map[int64]map[dsm.RegionID]int64),
+		devices:     make(map[position.DeviceID]*deviceState, 256),
+		occupancy:   make(map[dsm.RegionID]int, 64),
+		visits:      make(map[dsm.RegionID]int64, 64),
+		tags:        make(map[dsm.RegionID]string, 64),
+		flows:       make(map[flowKey]int64, 256),
+		dwell:       make(map[dsm.RegionID]*histogram, 64),
+		ring:        make(map[int64]map[dsm.RegionID]int64, 64),
 		minRetained: math.MinInt64,
 	}
 }
@@ -205,10 +207,27 @@ type flowKey struct {
 	from, to dsm.RegionID
 }
 
+// fnvHash is an inlined FNV-1a over a string: identical bits to
+// fnv.New32a().Write(...).Sum32() without materializing a hash.Hash32 on the
+// heap — shard routing runs on every fold.
+//
+//trips:zeroalloc
+func fnvHash(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+//trips:zeroalloc
 func (e *Engine) shardOf(dev position.DeviceID) *shard {
-	h := fnv.New32a()
-	io.WriteString(h, string(dev))
-	return e.shards[h.Sum32()%uint32(len(e.shards))]
+	return e.shards[fnvHash(string(dev))%uint32(len(e.shards))]
 }
 
 // shardForRegion picks a shard by region hash. Live ingest never uses it —
@@ -216,9 +235,7 @@ func (e *Engine) shardOf(dev position.DeviceID) *shard {
 // restore does, so a loaded engine spreads the historical map weight
 // instead of parking it all on shard 0.
 func (e *Engine) shardForRegion(r dsm.RegionID) *shard {
-	h := fnv.New32a()
-	io.WriteString(h, string(r))
-	return e.shards[h.Sum32()%uint32(len(e.shards))]
+	return e.shards[fnvHash(string(r))%uint32(len(e.shards))]
 }
 
 // Ingest folds one sealed triplet into the views and publishes a delta to

@@ -1,0 +1,42 @@
+package annotation
+
+import (
+	"testing"
+	"time"
+
+	"trips/internal/geom"
+)
+
+// TestIncrementalAnnotateSteadyStateZeroAlloc guards the incremental
+// annotator's steady state: with the caches warm, re-annotating an
+// unchanged sequence (stable == Len, the posture of a flush that admitted
+// no new records past the frontier) must not allocate. Every stage writes
+// into Incremental-owned double buffers — density flags, the SoA column
+// projection, cut cache, refined snippets, triplets, and the reused output
+// sequence — so the only per-call work is the suffix scans themselves.
+//
+//trips:guards cutAt
+//trips:guards smoothedAt
+func TestIncrementalAnnotateSteadyStateZeroAlloc(t *testing.T) {
+	a := growAnnotator(t, DefaultConfig())
+	g := lcg(7)
+	s := seqFrom(
+		stayRecords(&g, geom.Pt(5, 15), 1, t0, 80, 5*time.Second),
+		walkRecords(&g, geom.Pt(5, 7), geom.Pt(27, 7), 1, t0.Add(7*time.Minute), 2*time.Second),
+		stayRecords(&g, geom.Pt(25, 15), 1, t0.Add(12*time.Minute), 80, 5*time.Second),
+	)
+	inc := a.NewIncremental()
+	// Warm: the first call computes from scratch, the second sizes every
+	// reused buffer at the sequence's footprint.
+	inc.Annotate(s, 0)
+	out := inc.Annotate(s, s.Len())
+	if len(out.Triplets) == 0 {
+		t.Fatal("no triplets annotated; the steady state under test is empty")
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		inc.Annotate(s, s.Len())
+	}); avg != 0 {
+		t.Errorf("steady-state Incremental.Annotate allocates %.2f times per call, want 0", avg)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"trips/internal/dsm"
 	"trips/internal/events"
 	"trips/internal/geom"
+	"trips/internal/intern"
 	"trips/internal/position"
 	"trips/internal/semantics"
 )
@@ -62,11 +63,9 @@ func segmentDense(recs []position.Record) bool {
 	if len(recs) == 0 {
 		return false
 	}
-	s := position.NewSequence(recs[0].Device)
-	for _, r := range recs {
-		s.Append(r)
-	}
-	mask := denseMask(s, DefaultSplitConfig())
+	var cols position.Columns
+	cols.Sync(recs, 0)
+	mask := denseMask(&cols, DefaultSplitConfig())
 	cnt := 0
 	for _, d := range mask {
 		if d {
@@ -89,6 +88,7 @@ type Scratch struct {
 	feat   []float64
 	scaled []float64
 	pts    []geom.Point
+	scores []float64
 }
 
 // IdentifyWith is Identify with caller-owned scratch buffers, so a caller
@@ -104,12 +104,24 @@ func (m *EventModel) IdentifyWith(sc *Scratch, sn Snippet) (semantics.Event, flo
 		sc.scaled = zeroed(sc.scaled, NumFeatures)
 		x = m.scaler.transformInto(sc.scaled, sc.feat)
 	}
-	label, probs := m.clf.Predict(x)
+	label, probs := m.predict(sc, x)
 	conf := 0.0
 	if label < len(probs) {
 		conf = probs[label]
 	}
 	return m.labels[label], conf
+}
+
+// predict routes through the classifier's scratch-buffer fast path when the
+// caller brought one: the probability vector then aliases sc.scores instead
+// of being allocated per snippet.
+func (m *EventModel) predict(sc *Scratch, x []float64) (int, []float64) {
+	if sc != nil {
+		if sp, ok := m.clf.(scratchPredictor); ok {
+			return sp.predictScratch(x, &sc.scores)
+		}
+	}
+	return m.clf.Predict(x)
 }
 
 // zeroed returns buf resized to n entries, all zero.
@@ -203,43 +215,56 @@ type regionSnippet struct {
 func (a *Annotator) Annotate(s *position.Sequence) *semantics.Sequence {
 	out := semantics.NewSequence(string(s.Device))
 	labels := a.labelRecords(s, nil, 0)
-	refined := a.refineAndMatch(s, Split(s, a.Cfg.Split), labels, nil)
+	var rs refineScratch
+	refined := a.refineAndMatch(s, Split(s, a.Cfg.Split), labels, nil, &rs)
 	for _, g := range a.consolidate(s, refined) {
 		out.Append(a.annotateSnippet(g, nil))
 	}
 	return out
 }
 
-// labelRecords fills labels[from:] with the ID of the semantic region
-// covering each record ("" outside every region), growing labels to
-// s.Len(). One shared label array feeds both the region-refinement
-// smoothing and the majority vote of the spatial annotation.
-func (a *Annotator) labelRecords(s *position.Sequence, labels []dsm.RegionID, from int) []dsm.RegionID {
+// labelRecords fills labels[from:] with the interned index of the semantic
+// region covering each record (intern.None outside every region), growing
+// labels to s.Len(). One shared label array feeds both the region-refinement
+// smoothing and the majority vote of the spatial annotation. Region indexes
+// are assigned in sorted-RegionID order, so comparing indexes compares IDs.
+func (a *Annotator) labelRecords(s *position.Sequence, labels []intern.ID, from int) []intern.ID {
 	n := s.Len()
 	if cap(labels) < n {
 		// Doubled-capacity growth: the incremental annotator calls this on
 		// a tail that grows a few records per flush.
-		grown := make([]dsm.RegionID, n, 2*n)
+		grown := make([]intern.ID, n, 2*n)
 		copy(grown, labels[:from])
 		labels = grown
 	} else {
 		labels = labels[:n]
 	}
 	for i := from; i < n; i++ {
-		labels[i] = ""
 		r := s.Records[i]
-		if reg := a.Model.RegionAt(r.P, r.Floor); reg != nil {
-			labels[i] = reg.ID
-		}
+		labels[i] = a.Model.RegionIdxAt(r.P, r.Floor)
 	}
 	return labels
 }
 
+// refineScratch holds the reusable buffers of the refine/match stage — the
+// smoothing, run, and vote storage the incremental annotator would otherwise
+// reallocate for every snippet it re-refines on every flush.
+type refineScratch struct {
+	smoothed []intern.ID
+	runs     []labelRun
+	cuts     []int
+	votes    []int32     // per region index; cleared via touched after use
+	touched  []intern.ID // region indexes dirtied in votes
+}
+
+// labelRun is a half-open run [start, end) of identical smoothed labels.
+type labelRun struct{ start, end int }
+
 // refineAndMatch refines every snippet at persistent region changes and
 // resolves each refined snippet's spatial annotation, appending to out.
-func (a *Annotator) refineAndMatch(s *position.Sequence, sns []Snippet, labels []dsm.RegionID, out []regionSnippet) []regionSnippet {
+func (a *Annotator) refineAndMatch(s *position.Sequence, sns []Snippet, labels []intern.ID, out []regionSnippet, rs *refineScratch) []regionSnippet {
 	for _, sn := range sns {
-		out = a.refineSnippet(s, sn, labels, out)
+		out = a.refineSnippet(s, sn, labels, out, rs)
 	}
 	return out
 }
@@ -251,10 +276,10 @@ func (a *Annotator) refineAndMatch(s *position.Sequence, sns []Snippet, labels [
 // minRun records, so single noisy strays do not fragment snippets. Each
 // resulting sub-snippet is appended to out with its spatial annotation
 // resolved.
-func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm.RegionID, out []regionSnippet) []regionSnippet {
+func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []intern.ID, out []regionSnippet, rs *refineScratch) []regionSnippet {
 	const minRun = 5
 	emit := func(sub Snippet) []regionSnippet {
-		tag, rid := a.matchRegion(sub, labels)
+		tag, rid := a.matchRegion(sub, labels, rs)
 		return append(out, regionSnippet{sn: sub, tag: tag, rid: rid})
 	}
 	if len(sn.Records) < 2*minRun {
@@ -263,7 +288,10 @@ func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm
 	// Per-record region labels, majority-smoothed over a 5-wide window so
 	// boundary noise does not shred runs.
 	raw := labels[sn.First : sn.Last+1]
-	smoothed := make([]dsm.RegionID, len(raw))
+	if cap(rs.smoothed) < len(raw) {
+		rs.smoothed = make([]intern.ID, len(raw))
+	}
+	smoothed := rs.smoothed[:len(raw)]
 	for i := range raw {
 		lo, hi := i-2, i+3
 		if lo < 0 {
@@ -272,26 +300,44 @@ func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm
 		if hi > len(raw) {
 			hi = len(raw)
 		}
-		votes := make(map[dsm.RegionID]int, 3)
+		// At most five labels in the window: count the distinct ones in two
+		// fixed arrays instead of a map.
+		var wl [5]intern.ID
+		var wc [5]int
+		nw := 0
 		for _, l := range raw[lo:hi] {
-			votes[l]++
+			j := 0
+			for ; j < nw; j++ {
+				if wl[j] == l {
+					wc[j]++
+					break
+				}
+			}
+			if j == nw {
+				wl[nw], wc[nw] = l, 1
+				nw++
+			}
 		}
 		// Deterministic majority: the record's own label wins ties it
-		// participates in, otherwise the smallest ID does — map
-		// iteration order must not decide snippet boundaries.
+		// participates in, otherwise the smallest index does — which is the
+		// smallest region ID, since interning is in sorted-ID order.
 		best := raw[i]
-		bestCnt := votes[best]
-		//trips:commutative max scan with a deterministic tie-break: the record's own label wins, else the smallest ID
-		for l, c := range votes {
-			if c > bestCnt || (c == bestCnt && best != raw[i] && l < best) {
+		bestCnt := 0
+		for j := 0; j < nw; j++ {
+			if wl[j] == best {
+				bestCnt = wc[j]
+				break
+			}
+		}
+		for j := 0; j < nw; j++ {
+			if l, c := wl[j], wc[j]; c > bestCnt || (c == bestCnt && best != raw[i] && l < best) {
 				best, bestCnt = l, c
 			}
 		}
 		smoothed[i] = best
 	}
 	// Runs of identical smoothed labels; short runs merge backward.
-	type run struct{ start, end int } // [start, end)
-	var runs []run
+	runs := rs.runs[:0]
 	start := 0
 	for i := 1; i <= len(smoothed); i++ {
 		if i < len(smoothed) && smoothed[i] == smoothed[start] {
@@ -300,10 +346,11 @@ func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm
 		if i-start < minRun && len(runs) > 0 {
 			runs[len(runs)-1].end = i
 		} else {
-			runs = append(runs, run{start, i})
+			runs = append(runs, labelRun{start, i})
 		}
 		start = i
 	}
+	rs.runs = runs // keep the full backing: the head-merge reslice below is local
 	// A leading short run merges forward.
 	if len(runs) > 1 && runs[0].end-runs[0].start < minRun {
 		runs[1].start = runs[0].start
@@ -312,11 +359,12 @@ func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm
 	if len(runs) < 2 {
 		return emit(sn)
 	}
-	cuts := make([]int, 0, len(runs)+1)
+	cuts := rs.cuts[:0]
 	for _, r := range runs {
 		cuts = append(cuts, r.start)
 	}
 	cuts = append(cuts, len(sn.Records))
+	rs.cuts = cuts
 	for c := 1; c < len(cuts); c++ {
 		lo, hi := cuts[c-1], cuts[c]-1
 		out = emit(Snippet{
@@ -333,7 +381,12 @@ func (a *Annotator) refineSnippet(s *position.Sequence, sn Snippet, labels []dsm
 // relevant identity (tag, region, density) and sit within MergeGap of each
 // other — the same-region consolidation of the Annotate pipeline.
 func (a *Annotator) consolidate(s *position.Sequence, refined []regionSnippet) []regionSnippet {
-	var groups []regionSnippet
+	return a.consolidateInto(s, refined, nil)
+}
+
+// consolidateInto is consolidate appending into groups, so the incremental
+// annotator can reuse one buffer across flushes.
+func (a *Annotator) consolidateInto(s *position.Sequence, refined, groups []regionSnippet) []regionSnippet {
 	for _, g := range refined {
 		if n := len(groups); a.Cfg.MergeGap > 0 && n > 0 {
 			prev := &groups[n-1]
@@ -356,7 +409,7 @@ func (a *Annotator) annotateSnippet(g regionSnippet, sc *Scratch) semantics.Trip
 	if a.Cfg.MinConfidence > 0 && conf < a.Cfg.MinConfidence {
 		ev = semantics.EventUnknown
 	}
-	disp, floor := a.displayPoint(sn)
+	disp, floor := a.displayPoint(sn, sc)
 	return semantics.Triplet{
 		Event:      ev,
 		Region:     g.tag,
@@ -372,36 +425,42 @@ func (a *Annotator) annotateSnippet(g regionSnippet, sc *Scratch) semantics.Trip
 }
 
 // matchRegion makes the spatial annotation: the semantic region covering the
-// majority of the snippet's records (labels holds the per-record region IDs
-// for the whole sequence). When no record falls in any region, the walkable
-// partition of the snippet medoid names the annotation (so the triplet is
-// still localized, just not semantically tagged).
-func (a *Annotator) matchRegion(sn Snippet, labels []dsm.RegionID) (string, dsm.RegionID) {
-	votes := make(map[dsm.RegionID]int)
-	for _, l := range labels[sn.First : sn.Last+1] {
-		if l != "" {
-			votes[l]++
-		}
+// majority of the snippet's records (labels holds the per-record interned
+// region indexes for the whole sequence). When no record falls in any
+// region, the walkable partition of the snippet medoid names the annotation
+// (so the triplet is still localized, just not semantically tagged).
+func (a *Annotator) matchRegion(sn Snippet, labels []intern.ID, rs *refineScratch) (string, dsm.RegionID) {
+	if n := a.Model.NumRegions(); len(rs.votes) < n {
+		rs.votes = make([]int32, n)
 	}
-	if len(votes) > 0 {
-		// Highest vote; ties resolve to the lexicographically first ID for
-		// determinism.
-		ids := make([]dsm.RegionID, 0, len(votes))
-		//trips:commutative key collection; iteration order is erased by the sort below
-		for id := range votes {
-			ids = append(ids, id)
+	votes, touched := rs.votes, rs.touched[:0]
+	for _, l := range labels[sn.First : sn.Last+1] {
+		if l == intern.None {
+			continue
 		}
-		sort.Slice(ids, func(i, j int) bool {
-			if votes[ids[i]] != votes[ids[j]] {
-				return votes[ids[i]] > votes[ids[j]]
+		if votes[l] == 0 {
+			touched = append(touched, l)
+		}
+		votes[l]++
+	}
+	rs.touched = touched
+	if len(touched) > 0 {
+		// Highest vote; ties resolve to the smallest region index — the
+		// lexicographically first ID, since interning is in sorted-ID order.
+		best := touched[0]
+		for _, id := range touched[1:] {
+			if votes[id] > votes[best] || (votes[id] == votes[best] && id < best) {
+				best = id
 			}
-			return ids[i] < ids[j]
-		})
-		best := a.Model.Region(ids[0])
-		return best.Tag, best.ID
+		}
+		for _, id := range touched {
+			votes[id] = 0
+		}
+		r := a.Model.RegionByIdx(best)
+		return r.Tag, r.ID
 	}
 	// Fall back to the medoid's partition.
-	p, f := a.medoid(sn)
+	p, f := a.medoid(sn, nil)
 	if e := a.Model.Locate(p, f); e != nil {
 		if e.Name != "" {
 			return e.Name, ""
@@ -412,19 +471,33 @@ func (a *Annotator) matchRegion(sn Snippet, labels []dsm.RegionID) (string, dsm.
 }
 
 // displayPoint picks the representative point per the configured policy.
-func (a *Annotator) displayPoint(sn Snippet) (geom.Point, dsm.FloorID) {
+func (a *Annotator) displayPoint(sn Snippet, sc *Scratch) (geom.Point, dsm.FloorID) {
 	switch a.Cfg.Display {
 	case DisplaySpatialCentral:
-		return a.medoid(sn)
+		if sc != nil {
+			return a.medoid(sn, &sc.pts)
+		}
+		return a.medoid(sn, nil)
 	default:
 		r := sn.Records[len(sn.Records)/2]
 		return r.P, r.Floor
 	}
 }
 
-// medoid returns the record location closest to the snippet centroid.
-func (a *Annotator) medoid(sn Snippet) (geom.Point, dsm.FloorID) {
-	pts := make([]geom.Point, len(sn.Records))
+// medoid returns the record location closest to the snippet centroid,
+// borrowing *buf as point scratch when the caller brought one.
+func (a *Annotator) medoid(sn Snippet, buf *[]geom.Point) (geom.Point, dsm.FloorID) {
+	var local []geom.Point
+	if buf == nil {
+		buf = &local
+	}
+	pts := *buf
+	if cap(pts) < len(sn.Records) {
+		pts = make([]geom.Point, len(sn.Records))
+	} else {
+		pts = pts[:len(sn.Records)]
+	}
+	*buf = pts
 	for i, r := range sn.Records {
 		pts[i] = r.P
 	}

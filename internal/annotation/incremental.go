@@ -3,7 +3,7 @@ package annotation
 import (
 	"sort"
 
-	"trips/internal/dsm"
+	"trips/internal/intern"
 	"trips/internal/position"
 	"trips/internal/semantics"
 )
@@ -18,7 +18,9 @@ import (
 //   - density flags are final once the watermark is more than EpsTime past
 //     a record (one more record of slack for the majority smoothing);
 //   - per-record region labels and split cuts depend only on record values,
-//     so they are final below the caller's stable index;
+//     so they are final below the caller's stable index; cached pre-merge
+//     snippets wholly below the refreshed window are reused without
+//     re-scanning their cuts;
 //   - refined region-snippets and the final triplets are reused through an
 //     aligned-prefix comparison: a snippet or consolidated group whose
 //     extent, density class, and region identity are unchanged — and whose
@@ -26,22 +28,24 @@ import (
 //     triplet, so the cached one is emitted without re-running the
 //     classifier.
 //
-// The cheap structural scans (cut rebuild, tiny-snippet merge,
-// consolidation, prefix comparison) still walk the whole tail, but they are
-// integer-and-timestamp work; every geometric or learned computation —
-// density neighborhoods, region point location, feature extraction,
+// The remaining whole-tail work is copies between reused buffers and the
+// cheap structural scans (tiny-snippet merge, consolidation, prefix
+// comparison) over per-snippet lists; every per-record pass — density
+// neighborhoods, region point location, cut detection, feature extraction,
 // classification — is confined to the suffix.
 type Incremental struct {
 	a   *Annotator
 	cfg SplitConfig // resolved, like Split resolves it
 
-	n       int    // records covered by the last call
-	raw     []bool // pre-smooth density flags
+	n       int              // records covered by the last call
+	cols    position.Columns // struct-of-arrays projection of the records
+	raw     []bool           // pre-smooth density flags
 	sm      []bool // smoothed density flags
 	densePS []int  // prefix sums of sm, len n+1
-	labels  []dsm.RegionID
+	labels  []intern.ID
 
-	snips             []Snippet       // scratch: pre-merge snippet list
+	snips             []Snippet       // pre-merge snippet list of the last call
+	snipsScratch      []Snippet       // double buffer for snips
 	merged            []Snippet       // post-mergeTiny snippets of the last call
 	mergedScratch     []Snippet       // double buffer for merged
 	refined           []regionSnippet // refined+matched snippets of the last call
@@ -49,10 +53,13 @@ type Incremental struct {
 	refinedEnd        []int // per merged snippet, end index into refined
 	refinedEndScratch []int
 	groups            []regionSnippet // consolidated groups of the last call
+	groupsScratch     []regionSnippet
 	trips             []semantics.Triplet
 	tripsScratch      []semantics.Triplet
 
-	sc Scratch // classifier buffers
+	rs  refineScratch      // refine/match buffers
+	sc  Scratch            // classifier buffers
+	out semantics.Sequence // reused output sequence
 }
 
 // NewIncremental returns an incremental annotator bound to a's
@@ -60,6 +67,11 @@ type Incremental struct {
 func (a *Annotator) NewIncremental() *Incremental {
 	return &Incremental{a: a, cfg: a.Cfg.Split.resolved()}
 }
+
+// BoundTo reports whether inc was created by a. The online engine swaps
+// annotator variants when a session's tail becomes a trimmed suffix; a cache
+// bound to the old configuration must be rebuilt, not merely Reset.
+func (inc *Incremental) BoundTo(a *Annotator) bool { return inc.a == a }
 
 // Reset clears every cache, keeping allocated buffers; the next Annotate
 // recomputes from scratch.
@@ -69,10 +81,12 @@ func (inc *Incremental) Reset() { inc.n = 0 }
 // running Annotate(s) from scratch. stable is the caller's frozen-prefix
 // hint: records with index below it are unchanged — same values, same
 // positions — since the previous call on this Incremental (0 forces a full
-// recompute). The returned sequence's triplet slice is owned by the caller;
-// it does not alias the cache.
+// recompute). The returned sequence is owned by the cache and reused: it and
+// its triplet slice are valid only until the next Annotate or Reset call.
 func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Sequence {
-	out := semantics.NewSequence(string(s.Device))
+	out := &inc.out
+	out.Device = string(s.Device)
+	out.Triplets = out.Triplets[:0]
 	n := s.Len()
 	if n == 0 {
 		inc.Reset()
@@ -81,6 +95,9 @@ func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Se
 	if n < inc.n || stable > inc.n {
 		stable = 0 // shrunk or inconsistent hint: recompute everything
 	}
+	// Refresh the column projection for the changed suffix; the per-record
+	// scans below read it instead of the full Record rows.
+	inc.cols.Sync(s.Records, stable)
 
 	// Stage 1: density flags. A changed or new record sits at index ≥
 	// stable, hence (time-sorted) at or after At(stable); raw flags of
@@ -88,8 +105,8 @@ func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Se
 	// neighborhoods. The smoothing window adds one record of slack.
 	f0 := n
 	if stable < n {
-		limit := s.Records[stable].At.Add(-inc.cfg.EpsTime)
-		f0 = sort.Search(n, func(i int) bool { return !s.Records[i].At.Before(limit) })
+		limit := inc.cols.At[stable].Add(-inc.cfg.EpsTime)
+		f0 = sort.Search(n, func(i int) bool { return !inc.cols.At[i].Before(limit) })
 		if f0 > stable {
 			f0 = stable
 		}
@@ -99,7 +116,7 @@ func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Se
 	}
 	inc.raw = growBools(inc.raw, n)
 	inc.sm = growBools(inc.sm, n)
-	denseMaskRange(s, inc.cfg, inc.raw, f0)
+	denseMaskRange(&inc.cols, inc.cfg, inc.raw, f0)
 	s0 := f0 - 1
 	if s0 < 0 {
 		s0 = 0
@@ -126,19 +143,34 @@ func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Se
 	// only the suffix re-resolves.
 	inc.labels = inc.a.labelRecords(s, inc.labels, stable)
 
-	// Stage 3: split cuts and the pre-merge snippet list, then the tiny-
-	// snippet merge — integer/timestamp scans over the whole tail, with the
-	// density majority answered by the prefix sums.
-	inc.snips = inc.snips[:0]
+	// Stage 3: split cuts and the pre-merge snippet list. A cut at index i
+	// reads records i-1 and i and their smoothed flags, all unchanged below
+	// s0 (s0 < stable whenever stable > 0), so every cached snippet whose
+	// closing cut sits below s0 is reused verbatim — except the final one,
+	// whose end was the end of the sequence rather than a cut — and the
+	// per-record scan resumes at the first boundary that may have moved.
+	snips := inc.snipsScratch[:0]
 	start := 0
-	for i := 1; i < n; i++ {
-		if cutAt(s, inc.sm, inc.cfg.MaxGap, i) {
-			inc.snips = append(inc.snips, inc.makeSnippetPS(s, start, i-1))
+	keepS := 0
+	for keepS < len(inc.snips)-1 && inc.snips[keepS].Last+1 < s0 {
+		keepS++
+	}
+	if keepS > 0 {
+		snips = append(snips, inc.snips[:keepS]...)
+		start = inc.snips[keepS-1].Last + 1
+	}
+	for i := start + 1; i < n; i++ {
+		if cutAt(&inc.cols, inc.sm, inc.cfg.MaxGap, i) {
+			snips = append(snips, inc.makeSnippetPS(s, start, i-1))
 			start = i
 		}
 	}
-	inc.snips = append(inc.snips, inc.makeSnippetPS(s, start, n-1))
-	merged := mergeTiny(s, inc.snips, inc.cfg)
+	snips = append(snips, inc.makeSnippetPS(s, start, n-1))
+	inc.snips, inc.snipsScratch = snips, inc.snips
+
+	// The tiny-snippet merge writes into its own buffer so the pre-merge
+	// list above survives as next call's cut cache.
+	merged := mergeTinyInto(s, snips, inc.cfg, inc.mergedScratch[:0])
 
 	// Stage 4: refine + spatial match, reusing the aligned cached prefix.
 	// A merged snippet with the same extent and density class, fully below
@@ -158,13 +190,13 @@ func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Se
 		refinedEnd = append(refinedEnd, inc.refinedEnd[:keep]...)
 	}
 	for _, sn := range merged[keep:] {
-		refined = inc.a.refineSnippet(s, sn, inc.labels, refined)
+		refined = inc.a.refineSnippet(s, sn, inc.labels, refined, &inc.rs)
 		refinedEnd = append(refinedEnd, len(refined))
 	}
 
 	// Stage 5: same-region consolidation (cheap scan), then the triplets,
 	// reusing the aligned cached prefix of unchanged groups.
-	groups := inc.a.consolidate(s, refined)
+	groups := inc.a.consolidateInto(s, refined, inc.groupsScratch[:0])
 	keepG := 0
 	for keepG < len(groups) && keepG < len(inc.groups) && keepG < len(inc.trips) {
 		a, b := groups[keepG], inc.groups[keepG]
@@ -182,10 +214,9 @@ func (inc *Incremental) Annotate(s *position.Sequence, stable int) *semantics.Se
 	// Swap the double buffers and publish the caches.
 	inc.refinedScratch, inc.refined = inc.refined, refined
 	inc.refinedEndScratch, inc.refinedEnd = inc.refinedEnd, refinedEnd
-	inc.mergedScratch = append(inc.mergedScratch[:0], merged...)
-	inc.merged, inc.mergedScratch = inc.mergedScratch, inc.merged
+	inc.merged, inc.mergedScratch = merged, inc.merged
 	inc.tripsScratch, inc.trips = inc.trips, trips
-	inc.groups = append(inc.groups[:0], groups...)
+	inc.groups, inc.groupsScratch = groups, inc.groups
 	inc.n = n
 
 	for _, t := range inc.trips {

@@ -114,10 +114,18 @@ func (g *GaussianNB) Train(X [][]float64, y []int) error {
 
 // Predict implements Classifier.
 func (g *GaussianNB) Predict(x []float64) (int, []float64) {
+	var scores []float64
+	return g.predictScratch(x, &scores)
+}
+
+// predictScratch is Predict into a caller-owned score buffer: the returned
+// probabilities alias *scores and are valid until the next call.
+func (g *GaussianNB) predictScratch(x []float64, scores *[]float64) (int, []float64) {
 	if g.classes == 0 {
 		return 0, nil
 	}
-	logp := make([]float64, g.classes)
+	logp := zeroed(*scores, g.classes)
+	*scores = logp
 	for c := 0; c < g.classes; c++ {
 		lp := math.Log(g.prior[c] + 1e-12)
 		for j, v := range x {
@@ -126,7 +134,7 @@ func (g *GaussianNB) Predict(x []float64) (int, []float64) {
 		}
 		logp[c] = lp
 	}
-	return softmaxArgmax(logp)
+	return softmaxInPlace(logp)
 }
 
 // LogisticRegression --------------------------------------------------------
@@ -408,6 +416,14 @@ func pure(p []float64) bool {
 	return false
 }
 
+// scratchPredictor is the allocation-free fast path of a Classifier: predict
+// into a caller-owned score buffer instead of allocating the probability
+// vector per call. The returned probabilities alias the buffer and are valid
+// until the next call.
+type scratchPredictor interface {
+	predictScratch(x []float64, scores *[]float64) (int, []float64)
+}
+
 // softmaxArgmax exponentiates scores stably, normalizes, and returns the
 // argmax with the probability vector.
 func softmaxArgmax(scores []float64) (int, []float64) {
@@ -428,6 +444,26 @@ func softmaxArgmax(scores []float64) (int, []float64) {
 		p[i] /= sum
 	}
 	return best, p
+}
+
+// softmaxInPlace is softmaxArgmax overwriting scores with the probabilities.
+func softmaxInPlace(scores []float64) (int, []float64) {
+	best := 0
+	for i := range scores {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	mx := scores[best]
+	var sum float64
+	for i, s := range scores {
+		scores[i] = math.Exp(s - mx)
+		sum += scores[i]
+	}
+	for i := range scores {
+		scores[i] /= sum
+	}
+	return best, scores
 }
 
 // CrossValidate computes k-fold accuracy of a fresh classifier produced by

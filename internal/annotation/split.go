@@ -98,14 +98,16 @@ func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
 	}
 	cfg = cfg.resolved()
 
-	dense := denseMask(s, cfg)
+	var cols position.Columns
+	cols.Sync(s.Records, 0)
+	dense := denseMask(&cols, cfg)
 	smooth(dense)
 
 	// Cut points: density class change, floor change, or a long time gap.
 	var snippets []Snippet
 	start := 0
 	for i := 1; i < n; i++ {
-		if cutAt(s, dense, cfg.MaxGap, i) {
+		if cutAt(&cols, dense, cfg.MaxGap, i) {
 			snippets = append(snippets, makeSnippet(s, dense, start, i-1))
 			start = i
 		}
@@ -116,50 +118,53 @@ func Split(s *position.Sequence, cfg SplitConfig) []Snippet {
 
 // cutAt reports whether the splitter cuts between records i-1 and i:
 // density class change, floor change, or a long time gap.
-func cutAt(s *position.Sequence, dense []bool, maxGap time.Duration, i int) bool {
+//
+//trips:zeroalloc
+func cutAt(c *position.Columns, dense []bool, maxGap time.Duration, i int) bool {
 	return dense[i] != dense[i-1] ||
-		s.Records[i].Floor != s.Records[i-1].Floor ||
-		s.Records[i].At.Sub(s.Records[i-1].At) > maxGap
+		c.Floor[i] != c.Floor[i-1] ||
+		c.At[i].Sub(c.At[i-1]) > maxGap
 }
 
 // denseMask marks each record that has at least MinPts spatio-temporal
 // neighbors. The scan window exploits time ordering: only records within
 // EpsTime can be neighbors.
-func denseMask(s *position.Sequence, cfg SplitConfig) []bool {
-	dense := make([]bool, s.Len())
-	denseMaskRange(s, cfg, dense, 0)
+func denseMask(c *position.Columns, cfg SplitConfig) []bool {
+	dense := make([]bool, c.Len())
+	denseMaskRange(c, cfg, dense, 0)
 	return dense
 }
 
 // denseMaskRange computes the density flags for records [from, n) into
-// dense (which spans the whole sequence): the windowed form the incremental
+// dense (which spans the whole run): the windowed form the incremental
 // annotator uses to refresh only the flags a new suffix can have touched.
 // from == n is a valid empty window (an unchanged sequence re-annotated).
-func denseMaskRange(s *position.Sequence, cfg SplitConfig, dense []bool, from int) {
-	n := s.Len()
+// It reads the struct-of-arrays projection: the O(n·window) neighborhood
+// scan touches timestamps and points only, at column stride.
+func denseMaskRange(c *position.Columns, cfg SplitConfig, dense []bool, from int) {
+	n := c.Len()
 	if from >= n {
 		return
 	}
 	lo := 0
 	if from > 0 {
-		at := s.Records[from].At
+		at := c.At[from]
 		lo = sort.Search(from, func(j int) bool {
-			return at.Sub(s.Records[j].At) <= cfg.EpsTime
+			return at.Sub(c.At[j]) <= cfg.EpsTime
 		})
 	}
 	for i := from; i < n; i++ {
-		ri := s.Records[i]
-		for ri.At.Sub(s.Records[lo].At) > cfg.EpsTime {
+		ti, fi, pi := c.At[i], c.Floor[i], c.P[i]
+		for ti.Sub(c.At[lo]) > cfg.EpsTime {
 			lo++
 		}
 		dense[i] = false
 		cnt := 0
 		for j := lo; j < n; j++ {
-			rj := s.Records[j]
-			if rj.At.Sub(ri.At) > cfg.EpsTime {
+			if c.At[j].Sub(ti) > cfg.EpsTime {
 				break
 			}
-			if rj.Floor == ri.Floor && ri.P.Dist(rj.P) <= cfg.EpsSpace {
+			if c.Floor[j] == fi && pi.Dist(c.P[j]) <= cfg.EpsSpace {
 				cnt++
 				if cnt >= cfg.MinPts {
 					dense[i] = true
@@ -189,6 +194,8 @@ func smooth(mask []bool) {
 // smoothedAt is the indexwise form of smooth over the unfiltered flags: the
 // incremental annotator keeps raw and smoothed flags separate so it can
 // refresh a window without replaying the whole filter.
+//
+//trips:zeroalloc
 func smoothedAt(raw []bool, i int) bool {
 	if i == 0 || i == len(raw)-1 {
 		return raw[i]
@@ -225,14 +232,22 @@ const TinyJoinGap = 5 * time.Minute
 // majority. Floor-change and gap cuts are preserved: a tiny run is only
 // merged into a neighbor on the same floor with a small join gap.
 func mergeTiny(s *position.Sequence, sn []Snippet, cfg SplitConfig) []Snippet {
+	return mergeTinyInto(s, sn, cfg, sn[:0])
+}
+
+// mergeTinyInto is mergeTiny appending into dst. The batch path passes
+// sn[:0], folding in place (the write index never passes the read index);
+// the incremental annotator passes a separate buffer so the pre-merge list
+// survives as its cut cache.
+func mergeTinyInto(s *position.Sequence, sn []Snippet, cfg SplitConfig, dst []Snippet) []Snippet {
 	minLen := cfg.MinSnippet
 	if minLen <= 1 || len(sn) <= 1 {
-		return sn
+		return append(dst, sn...)
 	}
 	tiny := func(x Snippet) bool {
 		return len(x.Records) < minLen || x.Duration() < 10*time.Second
 	}
-	out := sn[:0]
+	out := dst
 	for _, cur := range sn {
 		if len(out) > 0 && tiny(cur) && joinable(out[len(out)-1], cur) {
 			out[len(out)-1] = joinSnippets(s, out[len(out)-1], cur)

@@ -1,0 +1,62 @@
+package cleaning
+
+import (
+	"testing"
+	"time"
+
+	"trips/internal/geom"
+	"trips/internal/position"
+	"trips/internal/testvenue"
+)
+
+// TestCleanFromSteadyStateZeroAlloc guards the incremental cleaner's
+// steady state: with the change-list materialization off (NoChanges, the
+// online engine's posture) and the cache warm, re-cleaning an unchanged
+// sequence must not allocate — every buffer the suffix re-clean touches is
+// State-owned scratch sized on earlier calls. This is what holds the
+// per-flush clean stage at amortized zero allocations on a long session.
+//
+//trips:guards State.Repaired
+//trips:guards stableCut
+func TestCleanFromSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inhibits inlining and distorts allocation counts")
+	}
+	m := testvenue.MustTwoFloor()
+	c := New(m)
+
+	// A noisy walk with teleport glitches so the cleaner has real repairs
+	// to carry in its cache, not a no-op pass.
+	st := uint32(11)
+	next := func(mod uint32) uint32 { st = st*1664525 + 1013904223; return (st >> 8) % mod }
+	s := position.NewSequence("d")
+	at := time.Date(2017, 1, 2, 10, 0, 0, 0, time.UTC)
+	x, y := 5.0, 5.0
+	for i := 0; i < 400; i++ {
+		x += float64(next(5)) - 2
+		y += float64(next(5)) - 2
+		p := geom.Pt(x, y)
+		if next(12) == 0 {
+			p = geom.Pt(float64(next(45))-2, float64(next(24))-2) // teleport
+		}
+		s.Append(position.Record{Device: "d", P: p, Floor: 1, At: at})
+		at = at.Add(time.Duration(2+int(next(6))) * time.Second)
+	}
+
+	var cs State
+	cs.NoChanges = true
+	floor := s.End().Add(-40 * time.Second)
+	// Warm the cache: the first call is the full clean, the second sizes
+	// every suffix buffer.
+	c.CleanFrom(&cs, s, floor)
+	c.CleanFrom(&cs, s, floor)
+	if cs.Stable() == 0 {
+		t.Fatal("stable prefix never advanced; the steady state under test never forms")
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		c.CleanFrom(&cs, s, floor)
+	}); avg != 0 {
+		t.Errorf("steady-state CleanFrom allocates %.2f times per call, want 0", avg)
+	}
+}

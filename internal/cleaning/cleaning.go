@@ -102,8 +102,20 @@ func (c *Cleaner) Clean(s *position.Sequence) (*position.Sequence, Report) {
 	if out.Len() == 0 {
 		return out, rep
 	}
-	c.cleanInto(out, c.maxSpeed(), &rep, nil)
+	var sc cleanScratch
+	c.cleanInto(out, c.maxSpeed(), &rep, nil, &sc)
 	return out, rep
+}
+
+// cleanScratch is reusable working state for one cleaning run: the
+// detection masks and the interpolation path buffer. CleanFrom threads the
+// per-session instance held in State through every sweep, so a steady-state
+// incremental flush allocates nothing here; the batch Clean uses a
+// throwaway one.
+type cleanScratch struct {
+	valid []bool
+	fresh []bool
+	path  []dsm.Location
 }
 
 // maxSpeed returns the effective speed constraint.
@@ -127,10 +139,10 @@ func (c *Cleaner) maxSpeed() float64 {
 // identical capped oscillation in any longer re-clean — which is why
 // CleanFrom's stability rules need the invalid marks but not the
 // convergence outcome.
-func (c *Cleaner) cleanInto(out *position.Sequence, maxSpeed float64, rep *Report, inv []bool) {
+func (c *Cleaner) cleanInto(out *position.Sequence, maxSpeed float64, rep *Report, inv []bool, sc *cleanScratch) {
 	for pass := 0; pass < maxCleanPasses; pass++ {
 		start := len(rep.Changes)
-		c.cleanPass(out, maxSpeed, rep, pass == 0, inv)
+		c.cleanPass(out, maxSpeed, rep, pass == 0, inv, sc)
 		moved := false
 		for _, ch := range rep.Changes[start:] {
 			if !ch.After.P.Eq(ch.Before.P) || ch.After.Floor != ch.Before.Floor {
@@ -151,7 +163,7 @@ func (c *Cleaner) cleanInto(out *position.Sequence, maxSpeed float64, rep *Repor
 // later sweeps record only records that actually moved, so converged
 // verification passes don't inflate the counters. inv, when non-nil,
 // accumulates every index detected invalid this pass.
-func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Report, noops bool, inv []bool) {
+func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Report, noops bool, inv []bool, sc *cleanScratch) {
 	// Step 0: snap every record into walkable space. Positioning noise
 	// routinely places points inside walls; all later geometry assumes
 	// walkable coordinates.
@@ -170,7 +182,7 @@ func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Repor
 
 	// Step 1: speed-constraint detection. valid[i] marks records that are
 	// consistent with the last valid anchor before them.
-	valid := c.detectValid(out, maxSpeed)
+	valid := c.detectValid(out, maxSpeed, &sc.valid)
 	markInvalid(inv, valid)
 
 	// Step 2: floor value correction. A record rejected only because of a
@@ -201,7 +213,7 @@ func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Repor
 	// anchors, but two adjacent fixed records may still be mutually
 	// inconsistent; the fresh pass demotes such records to interpolation.
 	if floorFixed > 0 {
-		fresh := c.detectValid(out, maxSpeed)
+		fresh := c.detectValid(out, maxSpeed, &sc.fresh)
 		for i := range valid {
 			valid[i] = fresh[i]
 		}
@@ -209,14 +221,15 @@ func (c *Cleaner) cleanPass(out *position.Sequence, maxSpeed float64, rep *Repor
 	}
 
 	// Step 3: location interpolation for the remaining invalid runs.
-	rep.Interpolated += c.interpolateRuns(out, valid, rep, noops)
+	rep.Interpolated += c.interpolateRuns(out, valid, rep, noops, sc)
 }
 
 // detectValid walks the sequence keeping a "last valid" anchor: record i is
 // valid when the speed needed to reach it from the anchor does not exceed
-// maxSpeed. The first record is the initial anchor.
-func (c *Cleaner) detectValid(s *position.Sequence, maxSpeed float64) []bool {
-	valid := make([]bool, s.Len())
+// maxSpeed. The first record is the initial anchor. The mask is written
+// into *buf, reused across calls.
+func (c *Cleaner) detectValid(s *position.Sequence, maxSpeed float64, buf *[]bool) []bool {
+	valid := resizeBools(buf, s.Len())
 	valid[0] = true
 	anchor := 0
 	for i := 1; i < s.Len(); i++ {
@@ -261,17 +274,20 @@ func (c *Cleaner) tryFloorFix(s *position.Sequence, valid []bool, i int, maxSpee
 	prev := prevValid(valid, i)
 	next := nextValid(valid, i)
 
-	candidates := make([]dsm.FloorID, 0, 2)
+	var candidates [2]dsm.FloorID
+	nc := 0
 	if prev >= 0 && s.Records[prev].Floor != s.Records[i].Floor {
-		candidates = append(candidates, s.Records[prev].Floor)
+		candidates[nc] = s.Records[prev].Floor
+		nc++
 	}
 	if next >= 0 && s.Records[next].Floor != s.Records[i].Floor {
 		f := s.Records[next].Floor
-		if len(candidates) == 0 || candidates[0] != f {
-			candidates = append(candidates, f)
+		if nc == 0 || candidates[0] != f {
+			candidates[nc] = f
+			nc++
 		}
 	}
-	for _, f := range candidates {
+	for _, f := range candidates[:nc] {
 		if !c.Model.HasFloor(f) {
 			continue
 		}
@@ -326,7 +342,7 @@ func nextValid(valid []bool, i int) int {
 // lingered); runs without a preceding anchor mirror from the next anchor.
 // With noops false, a repair that derives the record's existing value is
 // applied but not reported.
-func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Report, noops bool) int {
+func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Report, noops bool, sc *cleanScratch) int {
 	n := s.Len()
 	count := 0
 	for i := 0; i < n; {
@@ -346,7 +362,7 @@ func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Repor
 		}
 		for k := i; k < j; k++ {
 			before := s.Records[k]
-			s.Records[k] = c.interpolateOne(s, prev, next, k)
+			s.Records[k] = c.interpolateOne(s, prev, next, k, sc)
 			valid[k] = true
 			if !noops && s.Records[k].P.Eq(before.P) && s.Records[k].Floor == before.Floor {
 				continue
@@ -362,13 +378,14 @@ func (c *Cleaner) interpolateRuns(s *position.Sequence, valid []bool, rep *Repor
 // interpolateOne derives the possible location of record k between anchors
 // prev and next (either may be absent, not both — the first record is
 // always a valid anchor).
-func (c *Cleaner) interpolateOne(s *position.Sequence, prev, next, k int) position.Record {
+func (c *Cleaner) interpolateOne(s *position.Sequence, prev, next, k int, sc *cleanScratch) position.Record {
 	r := s.Records[k]
 	switch {
 	case prev >= 0 && next >= 0:
 		a, b := s.Records[prev], s.Records[next]
-		path := c.Model.WalkingPath(a.Location(), b.Location())
-		if path == nil {
+		path, ok := c.Model.AppendWalkingPath(sc.path[:0], a.Location(), b.Location())
+		sc.path = path[:0]
+		if !ok {
 			// Disconnected anchors: hold at the earlier one.
 			r.P, r.Floor = a.P, a.Floor
 			return r

@@ -59,6 +59,33 @@ type State struct {
 	// incremental call recleans, and its accumulated-invalid marks.
 	sub position.Sequence
 	inv []bool
+
+	// out is the reused output sequence header CleanFrom returns (its
+	// Records alias cleaned); like cleaned itself it is valid only until
+	// the next call.
+	out position.Sequence
+
+	// NoChanges, when set before the first call, suppresses the merged
+	// Report.Changes assembly: CleanFrom returns reports with correct
+	// counters but nil Changes, and answers per-index repair queries through
+	// Repaired instead. The online engine sets it — materializing the
+	// full change list was O(total repairs) per flush, the dominant
+	// per-flush cost on long sessions — while callers that persist reports
+	// leave it off.
+	NoChanges bool
+
+	// repaired marks, per cleaned record, whether the record carries a
+	// floor fix or an interpolation (snap-only repairs are position-local
+	// and don't count). It is the columnar replacement for scanning
+	// Report.Changes: [0, stable) is frozen, the suffix is rewritten every
+	// call.
+	repaired []bool
+
+	// chBuf backs the per-call sub-report change list.
+	chBuf []Change
+
+	// scratch is the sweep working state reused across calls.
+	scratch cleanScratch
 }
 
 // Reset clears the cache for a fresh sequence, keeping allocated buffers.
@@ -66,8 +93,18 @@ func (st *State) Reset() {
 	st.n, st.stable, st.prevStable = 0, 0, 0
 	st.cleaned = st.cleaned[:0]
 	st.invalid = st.invalid[:0]
+	st.repaired = st.repaired[:0]
 	st.prefixChanges = st.prefixChanges[:0]
 	st.prefixSnapped, st.prefixFloorFixed, st.prefixInterpolated = 0, 0, 0
+}
+
+// Repaired reports whether cleaned record i carries a floor fix or an
+// interpolation from the last call — the per-index view of the report that
+// NoChanges suppresses (it is maintained either way).
+//
+//trips:zeroalloc
+func (st *State) Repaired(i int) bool {
+	return i >= 0 && i < len(st.repaired) && st.repaired[i]
 }
 
 // Stable returns the index below which the cached cleaned values are final.
@@ -117,9 +154,10 @@ func (c *Cleaner) CleanFrom(st *State, s *position.Sequence, insertFloor time.Ti
 	sub.Device = s.Device
 	sub.Records = append(sub.Records[:0], st.cleaned[anchor])
 	sub.Records = append(sub.Records, s.Records[st.stable:]...)
-	subRep := Report{Total: sub.Len()}
+	subRep := Report{Total: sub.Len(), Changes: st.chBuf[:0]}
 	inv := resizeBools(&st.inv, sub.Len())
-	c.cleanInto(sub, c.maxSpeed(), &subRep, inv)
+	c.cleanInto(sub, c.maxSpeed(), &subRep, inv, &st.scratch)
+	st.chBuf = subRep.Changes[:0]
 	for _, ch := range subRep.Changes {
 		if ch.Index == 0 {
 			// The sub-run touched the anchor: the stability premise failed
@@ -134,42 +172,83 @@ func (c *Cleaner) CleanFrom(st *State, s *position.Sequence, insertFloor time.Ti
 	st.cleaned = append(st.cleaned[:st.stable], sub.Records[1:]...)
 	st.invalid = append(st.invalid[:st.stable], inv[1:]...)
 	st.n = s.Len()
-	out := &position.Sequence{Device: s.Device, Records: st.cleaned}
+	st.out = position.Sequence{Device: s.Device, Records: st.cleaned}
+	out := &st.out
 
-	// Assemble the full report: cached prefix repairs plus the suffix's,
-	// mapped to global indexes (sub index i is global anchor+i).
+	// Remap the suffix changes to global indexes in place, and rewrite the
+	// repaired column for the suffix span.
+	for i := range subRep.Changes {
+		subRep.Changes[i].Index += anchor
+	}
+	st.markRepaired(st.stable, s.Len(), subRep.Changes)
+
+	// Assemble the full report: cached prefix repairs plus the suffix's —
+	// unless the caller opted out of change materialization, which turns
+	// the per-flush report cost from O(total repairs) into O(suffix
+	// repairs).
 	rep := Report{
 		Total:        s.Len(),
 		Snapped:      st.prefixSnapped + subRep.Snapped,
 		FloorFixed:   st.prefixFloorFixed + subRep.FloorFixed,
 		Interpolated: st.prefixInterpolated + subRep.Interpolated,
 	}
-	rep.Changes = make([]Change, 0, len(st.prefixChanges)+len(subRep.Changes))
-	rep.Changes = append(rep.Changes, st.prefixChanges...)
-	for _, ch := range subRep.Changes {
-		ch.Index += anchor
-		rep.Changes = append(rep.Changes, ch)
+	if !st.NoChanges {
+		rep.Changes = make([]Change, 0, len(st.prefixChanges)+len(subRep.Changes))
+		rep.Changes = append(rep.Changes, st.prefixChanges...)
+		rep.Changes = append(rep.Changes, subRep.Changes...)
 	}
 
-	st.advance(rep.Changes[len(st.prefixChanges):], anchor+stableCut(inv), s, insertFloor)
+	st.advance(subRep.Changes, anchor+stableCut(inv), s, insertFloor)
 	return out, rep
+}
+
+// markRepaired rewrites the repaired column over [from, n) from this call's
+// suffix changes (global indexes).
+func (st *State) markRepaired(from, n int, changes []Change) {
+	if cap(st.repaired) < n {
+		grown := make([]bool, n)
+		copy(grown, st.repaired[:from])
+		st.repaired = grown
+	} else {
+		st.repaired = st.repaired[:n]
+		for i := from; i < n; i++ {
+			st.repaired[i] = false
+		}
+	}
+	for _, ch := range changes {
+		if ch.Index >= from && (ch.Kind == RepairFloor || ch.Kind == RepairInterpolate) {
+			st.repaired[ch.Index] = true
+		}
+	}
 }
 
 // cleanFull is the from-scratch path: clean the whole sequence, then prime
 // the cache with its stable prefix.
 func (c *Cleaner) cleanFull(st *State, s *position.Sequence, insertFloor time.Time) (*position.Sequence, Report) {
 	rep := Report{Total: s.Len()}
+	if st.NoChanges {
+		// Accumulate into the reusable buffer; the returned report carries
+		// nil Changes either way.
+		rep.Changes = st.chBuf[:0]
+	}
 	st.cleaned = append(st.cleaned[:0], s.Records...)
-	out := &position.Sequence{Device: s.Device, Records: st.cleaned}
+	st.out = position.Sequence{Device: s.Device, Records: st.cleaned}
+	out := &st.out
 	inv := resizeBools(&st.inv, s.Len())
-	c.cleanInto(out, c.maxSpeed(), &rep, inv)
+	c.cleanInto(out, c.maxSpeed(), &rep, inv, &st.scratch)
 
 	st.n = s.Len()
 	st.stable, st.prevStable = 0, 0
 	st.invalid = append(st.invalid[:0], inv...)
+	st.repaired = st.repaired[:0]
+	st.markRepaired(0, s.Len(), rep.Changes)
 	st.prefixChanges = st.prefixChanges[:0]
 	st.prefixSnapped, st.prefixFloorFixed, st.prefixInterpolated = 0, 0, 0
 	st.advance(rep.Changes, stableCut(inv), s, insertFloor)
+	if st.NoChanges {
+		st.chBuf = rep.Changes[:0]
+		rep.Changes = nil
+	}
 	return out, rep
 }
 
@@ -200,7 +279,9 @@ func (st *State) advance(newChanges []Change, cut int, s *position.Sequence, ins
 		if ch.Index >= cut {
 			continue
 		}
-		st.prefixChanges = append(st.prefixChanges, ch)
+		if !st.NoChanges {
+			st.prefixChanges = append(st.prefixChanges, ch)
+		}
 		switch ch.Kind {
 		case RepairSnap:
 			st.prefixSnapped++
@@ -221,6 +302,8 @@ func (st *State) advance(newChanges []Change, cut int, s *position.Sequence, ins
 // repairs anchored on both sides inside the sequence), including segments
 // the pass cap stopped mid-oscillation: any longer re-clean replays the
 // identical capped passes over them.
+//
+//trips:zeroalloc
 func stableCut(inv []bool) int {
 	cut := len(inv)
 	for cut > 0 && inv[cut-1] {

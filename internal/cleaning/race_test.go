@@ -1,0 +1,8 @@
+//go:build race
+
+package cleaning
+
+// raceEnabled reports that the race detector is instrumenting this build.
+// Race instrumentation inhibits inlining, which makes allocation counts
+// differ from production builds — the zero-alloc guards skip under it.
+const raceEnabled = true

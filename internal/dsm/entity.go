@@ -94,6 +94,11 @@ type Entity struct {
 	// Tags holds free-form attributes attached by the Space Modeler
 	// (style, drawn layer, source of digitization, ...).
 	Tags map[string]string `json:"tags,omitempty"`
+
+	// idx is the dense entity index Freeze assigns (position in
+	// Model.Entities); the navigation graph keys per-partition state by it
+	// so the Dijkstra hot path never hashes an EntityID string.
+	idx int32
 }
 
 // Center returns the representative point of the entity (shape centroid).

@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"trips/internal/geom"
+	"trips/internal/intern"
 )
 
 // Model is the Digital Space Model: entities, semantic regions and the
@@ -36,6 +38,17 @@ type Model struct {
 	floorList []FloorID
 	nav       *navGraph
 	regAdj    map[RegionID][]RegionID
+
+	// regIDs interns region ids into dense indexes, assigned in sorted
+	// RegionID order so integer comparison reproduces the lexicographic
+	// tie-breaks the annotator's voting rules are specified in (intern.None
+	// plays the role of the empty "no region" id, sorting below all).
+	regIDs   *intern.Table
+	regByIdx []*SemanticRegion
+
+	// navScratch pools Dijkstra working state (see topology.go) so
+	// WalkingDistance/WalkingPath are allocation-free at steady state.
+	navScratch sync.Pool
 }
 
 // floorIndex is the per-floor spatial index over walkable partitions and
@@ -107,6 +120,21 @@ func (m *Model) Freeze() error {
 				return fmt.Errorf("dsm: region %s references unknown entity %q", r.ID, eid)
 			}
 		}
+	}
+
+	// Dense ids: entities index in insertion order (only ever used as an
+	// array subscript), regions in sorted-RegionID order (compared by the
+	// annotator's tie-breaks, so order must mirror the string order).
+	for i, e := range m.Entities {
+		e.idx = int32(i)
+	}
+	m.regIDs = intern.NewTable(len(m.Regions))
+	m.regByIdx = make([]*SemanticRegion, 0, len(m.Regions))
+	sortedRegs := append([]*SemanticRegion(nil), m.Regions...)
+	sort.Slice(sortedRegs, func(i, j int) bool { return sortedRegs[i].ID < sortedRegs[j].ID })
+	for _, r := range sortedRegs {
+		r.idx = m.regIDs.Intern(string(r.ID))
+		m.regByIdx = append(m.regByIdx, r)
 	}
 
 	m.buildFloorIndexes()
@@ -205,6 +233,10 @@ func (m *Model) HasFloor(f FloorID) bool { _, ok := m.floors[f]; return ok }
 // nil when the point lies in a wall, an obstacle or outside the building.
 // When several partitions overlap (e.g. a staircase inside a hallway) the
 // smallest-area one wins, matching the most specific entity.
+// It iterates grid candidates in place rather than through QueryPoint,
+// which allocates; Locate runs for every record the Cleaner speed-checks.
+//
+//trips:zeroalloc
 func (m *Model) Locate(p geom.Point, f FloorID) *Entity {
 	fi := m.floors[f]
 	if fi == nil {
@@ -212,7 +244,10 @@ func (m *Model) Locate(p geom.Point, f FloorID) *Entity {
 	}
 	var best *Entity
 	bestArea := 0.0
-	for _, i := range fi.partGrid.QueryPoint(p) {
+	for _, i := range fi.partGrid.PointCandidates(p) {
+		if !fi.partGrid.Bounds(i).Contains(p) {
+			continue
+		}
 		e := fi.partitions[i]
 		if e.Shape.Contains(p) {
 			a := e.Shape.Area()
@@ -238,10 +273,11 @@ func (m *Model) SnapToWalkable(p geom.Point, f FloorID) (geom.Point, *Entity, bo
 	}
 	// Search outward with growing query boxes before falling back to a
 	// full scan, so the common near-miss case stays cheap.
-	for _, radius := range []float64{2, 8, 32} {
+	for _, radius := range snapRadii {
 		var best *Entity
 		bestD := radius
-		for _, i := range fi.partGrid.QueryRect(geom.NewRect(p, p).Expand(radius)) {
+		it := fi.partGrid.QueryRectIter(geom.NewRect(p, p).Expand(radius))
+		for i, ok := it.Next(); ok; i, ok = it.Next() {
 			e := fi.partitions[i]
 			if d := e.Shape.DistToPoint(p); d < bestD {
 				best, bestD = e, d
@@ -261,6 +297,10 @@ func (m *Model) SnapToWalkable(p geom.Point, f FloorID) (geom.Point, *Entity, bo
 	return clampInside(best.Shape, p), best, true
 }
 
+// snapRadii are the growing query-box radii SnapToWalkable tries before a
+// full scan (hoisted so the hot path does not re-allocate the literal).
+var snapRadii = [3]float64{2, 8, 32}
+
 // clampInside returns the boundary point of pg nearest to p, nudged slightly
 // inward so that subsequent Contains checks succeed.
 func clampInside(pg geom.Polygon, p geom.Point) geom.Point {
@@ -278,6 +318,8 @@ func clampInside(pg geom.Polygon, p geom.Point) geom.Point {
 
 // RegionAt returns the semantic region containing the location, or nil.
 // Overlapping regions resolve to the smallest area, the most specific tag.
+//
+//trips:zeroalloc
 func (m *Model) RegionAt(p geom.Point, f FloorID) *SemanticRegion {
 	fi := m.floors[f]
 	if fi == nil {
@@ -285,7 +327,10 @@ func (m *Model) RegionAt(p geom.Point, f FloorID) *SemanticRegion {
 	}
 	var best *SemanticRegion
 	bestArea := 0.0
-	for _, i := range fi.regGrid.QueryPoint(p) {
+	for _, i := range fi.regGrid.PointCandidates(p) {
+		if !fi.regGrid.Bounds(i).Contains(p) {
+			continue
+		}
 		r := fi.regions[i]
 		if r.Shape.Contains(p) {
 			a := r.Shape.Area()
@@ -295,6 +340,43 @@ func (m *Model) RegionAt(p geom.Point, f FloorID) *SemanticRegion {
 		}
 	}
 	return best
+}
+
+// RegionIdxAt returns the interned index of the region containing the
+// location, or intern.None. It is RegionAt for the hot path: the annotator
+// labels every tail record with it and compares/hashes the resulting ints,
+// materializing region strings only when triplets are sealed.
+//
+//trips:zeroalloc
+func (m *Model) RegionIdxAt(p geom.Point, f FloorID) intern.ID {
+	if r := m.RegionAt(p, f); r != nil {
+		return r.idx
+	}
+	return intern.None
+}
+
+// NumRegions returns the number of semantic regions; valid interned region
+// indexes are [0, NumRegions).
+func (m *Model) NumRegions() int { return len(m.regByIdx) }
+
+// RegionByIdx returns the region with the given interned index, or nil for
+// intern.None.
+//
+//trips:zeroalloc
+func (m *Model) RegionByIdx(ix intern.ID) *SemanticRegion {
+	if ix == intern.None {
+		return nil
+	}
+	return m.regByIdx[ix]
+}
+
+// RegionIdx returns the interned index for a region id, or intern.None for
+// ids not in the model.
+func (m *Model) RegionIdx(id RegionID) intern.ID {
+	if r := m.regByID[id]; r != nil {
+		return r.idx
+	}
+	return intern.None
 }
 
 // RegionsOnFloor returns the regions on floor f in insertion order.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trips/internal/geom"
+	"trips/internal/intern"
 )
 
 // SemanticRegion is a user-defined region associated with practical
@@ -26,7 +27,16 @@ type SemanticRegion struct {
 	// Style carries the display style the Space Modeler attached
 	// ("Users can customize and apply different styles").
 	Style map[string]string `json:"style,omitempty"`
+
+	// idx is the interned dense region index Freeze assigns in sorted
+	// RegionID order; see Model.RegionIdxAt.
+	idx intern.ID
 }
+
+// Idx returns the interned dense index Freeze assigned to the region.
+// Integer comparison of indexes is equivalent to lexicographic comparison
+// of RegionIDs (with intern.None standing in for "no region").
+func (r *SemanticRegion) Idx() intern.ID { return r.idx }
 
 // Center returns the representative point of the region.
 func (r *SemanticRegion) Center() geom.Point { return r.Shape.Centroid() }

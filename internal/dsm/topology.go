@@ -1,7 +1,6 @@
 package dsm
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -33,6 +32,10 @@ type navGraph struct {
 	adj   [][]navEdge
 	// byPartition lists node indexes touching each walkable partition.
 	byPartition map[EntityID][]int
+	// byPartIdx is byPartition re-keyed by the dense entity index Freeze
+	// assigns, so the Dijkstra hot path indexes an array instead of
+	// hashing an EntityID string.
+	byPartIdx [][]int
 }
 
 // doorTouchSlack is how far a door polygon may be from a partition polygon
@@ -123,6 +126,13 @@ func (m *Model) buildNavGraph() error {
 		}
 	}
 
+	// Dense per-entity node lists for the hot path.
+	g.byPartIdx = make([][]int, len(m.Entities))
+	//trips:commutative per-key copy into a dense array; each key writes only its own slot
+	for id, list := range g.byPartition {
+		g.byPartIdx[m.byID[id].idx] = list
+	}
+
 	m.nav = g
 	return nil
 }
@@ -196,55 +206,58 @@ type Location struct {
 // locations, respecting doors, walls and floors. Points outside walkable
 // space are snapped to the nearest partition first. The boolean is false
 // when no path exists (disconnected partitions or unknown floor).
+//
+// The Dijkstra working state is pooled (see dijkstraScratch), the heap is
+// typed, and partitions are addressed by dense entity index, so a call is
+// allocation-free at steady state — the Cleaner runs one per speed check.
+//
+//trips:zeroalloc
 func (m *Model) WalkingDistance(from, to Location) (float64, bool) {
 	pa, ea, oka := m.SnapToWalkable(from.P, from.Floor)
 	pb, eb, okb := m.SnapToWalkable(to.P, to.Floor)
 	if !oka || !okb {
 		return 0, false
 	}
-	if ea.ID == eb.ID {
+	if ea.idx == eb.idx {
 		return pa.Dist(pb), true
 	}
 	g := m.nav
-	// Virtual source = pa connected to every connector of ea; likewise the
-	// target. Dijkstra from the source set.
-	dist := make([]float64, len(g.nodes))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	pq := &distHeap{}
-	for _, idx := range g.byPartition[ea.ID] {
-		d := pa.Dist(g.nodes[idx].center)
-		if d < dist[idx] {
-			dist[idx] = d
-			heap.Push(pq, distItem{idx, d})
-		}
-	}
-	targets := make(map[int]float64)
-	for _, idx := range g.byPartition[eb.ID] {
-		targets[idx] = pb.Dist(g.nodes[idx].center)
-	}
-	if pq.Len() == 0 || len(targets) == 0 {
+	sources, targets := g.byPartIdx[ea.idx], g.byPartIdx[eb.idx]
+	if len(sources) == 0 || len(targets) == 0 {
 		return 0, false
 	}
+	s := m.getNavScratch()
+	defer m.putNavScratch(s)
+	// Virtual source = pa connected to every connector of ea; likewise the
+	// target. Dijkstra from the source set.
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+	}
+	for _, idx := range sources {
+		d := pa.Dist(g.nodes[idx].center)
+		if d < s.dist[idx] {
+			s.dist[idx] = d
+			s.push(distItem{idx, d})
+		}
+	}
 	best := math.Inf(1)
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
-		if it.d > dist[it.node] {
+	for len(s.heap) > 0 {
+		it := s.pop()
+		if it.d > s.dist[it.node] {
 			continue
 		}
 		if it.d >= best {
 			break
 		}
-		if tail, ok := targets[it.node]; ok {
+		if tail, ok := targetTail(g, targets, pb, it.node); ok {
 			if v := it.d + tail; v < best {
 				best = v
 			}
 		}
 		for _, e := range g.adj[it.node] {
-			if nd := it.d + e.w; nd < dist[e.to] {
-				dist[e.to] = nd
-				heap.Push(pq, distItem{e.to, nd})
+			if nd := it.d + e.w; nd < s.dist[e.to] {
+				s.dist[e.to] = nd
+				s.push(distItem{e.to, nd})
 			}
 		}
 	}
@@ -254,74 +267,95 @@ func (m *Model) WalkingDistance(from, to Location) (float64, bool) {
 	return best, true
 }
 
+// targetTail returns the virtual-target tail distance from node to pb when
+// node is one of the target partition's connectors. The target lists are a
+// handful of doors, so a linear scan beats building a map per call.
+//
+//trips:zeroalloc
+func targetTail(g *navGraph, targets []int, pb geom.Point, node int) (float64, bool) {
+	for _, t := range targets {
+		if t == node {
+			return pb.Dist(g.nodes[t].center), true
+		}
+	}
+	return 0, false
+}
+
 // WalkingPath returns the sequence of connector points (door and shaft
 // centers) on a minimum walking path between the two locations, including
 // the snapped endpoints, or nil when unreachable. The Cleaner interpolates
 // repaired locations along this path.
 func (m *Model) WalkingPath(from, to Location) []Location {
+	out, ok := m.AppendWalkingPath(nil, from, to)
+	if !ok {
+		return nil
+	}
+	return out
+}
+
+// AppendWalkingPath appends a minimum walking path to dst and reports
+// whether one exists; on false, dst is returned unchanged. It is
+// WalkingPath for callers that reuse a path buffer across calls (the
+// Cleaner's interpolation scratch): aside from growing dst, a call is
+// allocation-free at steady state.
+func (m *Model) AppendWalkingPath(dst []Location, from, to Location) ([]Location, bool) {
 	pa, ea, oka := m.SnapToWalkable(from.P, from.Floor)
 	pb, eb, okb := m.SnapToWalkable(to.P, to.Floor)
 	if !oka || !okb {
-		return nil
+		return dst, false
 	}
-	if ea.ID == eb.ID {
-		return []Location{{pa, from.Floor}, {pb, to.Floor}}
+	if ea.idx == eb.idx {
+		return append(dst, Location{pa, from.Floor}, Location{pb, to.Floor}), true
 	}
 	g := m.nav
-	dist := make([]float64, len(g.nodes))
-	prev := make([]int, len(g.nodes))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
+	s := m.getNavScratch()
+	defer m.putNavScratch(s)
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.prev[i] = -1
 	}
-	pq := &distHeap{}
-	for _, idx := range g.byPartition[ea.ID] {
+	for _, idx := range g.byPartIdx[ea.idx] {
 		d := pa.Dist(g.nodes[idx].center)
-		if d < dist[idx] {
-			dist[idx] = d
-			heap.Push(pq, distItem{idx, d})
+		if d < s.dist[idx] {
+			s.dist[idx] = d
+			s.push(distItem{idx, d})
 		}
 	}
-	targets := make(map[int]float64)
-	for _, idx := range g.byPartition[eb.ID] {
-		targets[idx] = pb.Dist(g.nodes[idx].center)
-	}
+	targets := g.byPartIdx[eb.idx]
 	bestNode, best := -1, math.Inf(1)
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
-		if it.d > dist[it.node] {
+	for len(s.heap) > 0 {
+		it := s.pop()
+		if it.d > s.dist[it.node] {
 			continue
 		}
 		if it.d >= best {
 			break
 		}
-		if tail, ok := targets[it.node]; ok {
+		if tail, ok := targetTail(g, targets, pb, it.node); ok {
 			if v := it.d + tail; v < best {
 				best, bestNode = v, it.node
 			}
 		}
 		for _, e := range g.adj[it.node] {
-			if nd := it.d + e.w; nd < dist[e.to] {
-				dist[e.to] = nd
-				prev[e.to] = it.node
-				heap.Push(pq, distItem{e.to, nd})
+			if nd := it.d + e.w; nd < s.dist[e.to] {
+				s.dist[e.to] = nd
+				s.prev[e.to] = it.node
+				s.push(distItem{e.to, nd})
 			}
 		}
 	}
 	if bestNode < 0 {
-		return nil
+		return dst, false
 	}
-	var rev []Location
-	for n := bestNode; n >= 0; n = prev[n] {
-		rev = append(rev, Location{g.nodes[n].center, g.nodes[n].floor})
+	s.rev = s.rev[:0]
+	for n := bestNode; n >= 0; n = s.prev[n] {
+		s.rev = append(s.rev, Location{g.nodes[n].center, g.nodes[n].floor})
 	}
-	path := make([]Location, 0, len(rev)+2)
-	path = append(path, Location{pa, from.Floor})
-	for i := len(rev) - 1; i >= 0; i-- {
-		path = append(path, rev[i])
+	dst = append(dst, Location{pa, from.Floor})
+	for i := len(s.rev) - 1; i >= 0; i-- {
+		dst = append(dst, s.rev[i])
 	}
-	path = append(path, Location{pb, to.Floor})
-	return path
+	return append(dst, Location{pb, to.Floor}), true
 }
 
 // Reachable reports whether any walking path connects the two locations.
@@ -419,22 +453,89 @@ func (m *Model) RegionDistance(a, b RegionID) (float64, bool) {
 	return m.WalkingDistance(Location{ra.Center(), ra.Floor}, Location{rb.Center(), rb.Floor})
 }
 
-// distHeap is a binary min-heap for Dijkstra.
+// distItem is one Dijkstra frontier entry.
 type distItem struct {
 	node int
 	d    float64
 }
 
-type distHeap []distItem
+// dijkstraScratch is the pooled per-call working state of the walking
+// queries: the tentative-distance and predecessor arrays, the frontier
+// heap, and the path-reversal buffer. Pooling it (Model.navScratch) and
+// typing the heap removes every per-call allocation the old
+// container/heap-based implementation made — previously ~45% of all
+// objects allocated on the online hot path.
+type dijkstraScratch struct {
+	dist []float64
+	prev []int
+	heap []distItem
+	rev  []Location
+}
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+// push adds an item to the frontier min-heap. The sift-up replicates
+// container/heap.Push exactly — WalkingPath's choice among equal-cost
+// paths depends on heap tie behavior, which must not change.
+func (s *dijkstraScratch) push(it distItem) {
+	h := append(s.heap, it)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if h[i].d <= h[j].d {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	s.heap = h
+}
+
+// pop removes the minimum item, replicating container/heap.Pop's
+// swap-then-sift-down order (see push for why the semantics are pinned).
+func (s *dijkstraScratch) pop() distItem {
+	h := s.heap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].d < h[j1].d {
+			j = j2
+		}
+		if h[j].d >= h[i].d {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	s.heap = h[:n]
 	return it
+}
+
+// getNavScratch returns pooled Dijkstra scratch sized for the nav graph.
+func (m *Model) getNavScratch() *dijkstraScratch {
+	s, _ := m.navScratch.Get().(*dijkstraScratch)
+	if s == nil {
+		s = new(dijkstraScratch)
+	}
+	if n := len(m.nav.nodes); cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]int, n)
+	} else {
+		s.dist = s.dist[:n]
+		s.prev = s.prev[:n]
+	}
+	s.heap = s.heap[:0]
+	return s
+}
+
+// putNavScratch returns scratch to the pool.
+func (m *Model) putNavScratch(s *dijkstraScratch) {
+	s.heap = s.heap[:0]
+	s.rev = s.rev[:0]
+	m.navScratch.Put(s)
 }

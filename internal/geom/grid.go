@@ -80,3 +80,94 @@ func (g *GridIndex) QueryRect(r Rect) []int {
 
 // Len returns the number of indexed items.
 func (g *GridIndex) Len() int { return len(g.boxes) }
+
+// Allocation-free query surface ------------------------------------------
+//
+// QueryPoint and QueryRect allocate their result slices, which made them
+// the single largest object source on the online hot path (every cleaning
+// speed check walks Locate → QueryPoint). The methods below expose the same
+// candidates without allocating: callers range over an index-owned cell
+// slice (point queries) or drive a value-type iterator (rect queries).
+
+// PointCandidates returns the ids whose covering cells include p — a
+// superset of QueryPoint(p); callers filter with Bounds(id).Contains(p).
+// The returned slice is owned by the index: read-only, valid until the next
+// Insert. It never allocates.
+//
+//trips:zeroalloc
+func (g *GridIndex) PointCandidates(p Point) []int {
+	return g.cells[g.key(p)]
+}
+
+// Bounds returns the indexed bounds of id, as passed to Insert.
+//
+//trips:zeroalloc
+func (g *GridIndex) Bounds(id int) Rect { return g.boxes[id] }
+
+// RectIter enumerates, without allocating, the ids whose bounds intersect a
+// query rect — the same ids QueryRect returns, in the same order. Dedup is
+// by home cell: an id spans every cell its bounds overlap, so it is emitted
+// only from the first overlapping cell in scan order, which is exactly
+// where the seen-map version would first encounter it.
+type RectIter struct {
+	g      *GridIndex
+	r      Rect
+	lo, hi gridKey
+	cx, cy int
+	i      int // next position within the current cell's id list
+	done   bool
+}
+
+// QueryRectIter returns an iterator over the ids intersecting r. The
+// iterator is a value; keeping it on the caller's stack makes the whole
+// query allocation-free.
+func (g *GridIndex) QueryRectIter(r Rect) RectIter {
+	if r.IsEmpty() {
+		return RectIter{done: true}
+	}
+	lo, hi := g.key(r.Min), g.key(r.Max)
+	return RectIter{g: g, r: r, lo: lo, hi: hi, cx: lo.cx, cy: lo.cy}
+}
+
+// Next returns the next intersecting id; ok is false when exhausted.
+//
+//trips:zeroalloc
+func (it *RectIter) Next() (id int, ok bool) {
+	if it.done {
+		return 0, false
+	}
+	for {
+		ids := it.g.cells[gridKey{it.cx, it.cy}]
+		for it.i < len(ids) {
+			id := ids[it.i]
+			it.i++
+			b := it.g.boxes[id]
+			if !b.Intersects(it.r) {
+				continue
+			}
+			// Home-cell check: emit only in the first scanned cell
+			// this id appears in.
+			blo := it.g.key(b.Min)
+			hcx, hcy := blo.cx, blo.cy
+			if hcx < it.lo.cx {
+				hcx = it.lo.cx
+			}
+			if hcy < it.lo.cy {
+				hcy = it.lo.cy
+			}
+			if hcx == it.cx && hcy == it.cy {
+				return id, true
+			}
+		}
+		it.i = 0
+		it.cy++
+		if it.cy > it.hi.cy {
+			it.cy = it.lo.cy
+			it.cx++
+			if it.cx > it.hi.cx {
+				it.done = true
+				return 0, false
+			}
+		}
+	}
+}

@@ -130,12 +130,21 @@ func (pg Polygon) Bounds() Rect { return BoundsOf(pg.Vertices) }
 
 // DistToPoint returns the distance from p to the polygon: zero when p is
 // inside or on the boundary, otherwise the distance to the nearest edge.
+// It iterates the edges in place rather than materializing Edges(): the
+// cleaning hot path calls it for every snap candidate.
+//
+//trips:zeroalloc
 func (pg Polygon) DistToPoint(p Point) float64 {
 	if pg.Contains(p) {
 		return 0
 	}
 	d := math.Inf(1)
-	for _, e := range pg.Edges() {
+	n := len(pg.Vertices)
+	if n < 2 {
+		return d
+	}
+	for i := 0; i < n; i++ {
+		e := Seg(pg.Vertices[i], pg.Vertices[(i+1)%n])
 		if v := e.DistToPoint(p); v < d {
 			d = v
 		}
@@ -144,10 +153,17 @@ func (pg Polygon) DistToPoint(p Point) float64 {
 }
 
 // ClosestBoundaryPoint returns the boundary point nearest to p.
+//
+//trips:zeroalloc
 func (pg Polygon) ClosestBoundaryPoint(p Point) Point {
 	best := p
 	d := math.Inf(1)
-	for _, e := range pg.Edges() {
+	n := len(pg.Vertices)
+	if n < 2 {
+		return best
+	}
+	for i := 0; i < n; i++ {
+		e := Seg(pg.Vertices[i], pg.Vertices[(i+1)%n])
 		q, _ := e.ClosestPoint(p)
 		if v := p.Dist(q); v < d {
 			d, best = v, q
@@ -159,8 +175,9 @@ func (pg Polygon) ClosestBoundaryPoint(p Point) Point {
 // IntersectsSegment reports whether s crosses or touches the polygon
 // boundary, or lies entirely inside it.
 func (pg Polygon) IntersectsSegment(s Segment) bool {
-	for _, e := range pg.Edges() {
-		if e.Intersects(s) {
+	n := len(pg.Vertices)
+	for i := 0; i < n && n >= 2; i++ {
+		if Seg(pg.Vertices[i], pg.Vertices[(i+1)%n]).Intersects(s) {
 			return true
 		}
 	}

@@ -1,0 +1,126 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	var tab Table
+	if n := tab.Len(); n != 0 {
+		t.Fatalf("zero table Len = %d, want 0", n)
+	}
+	if _, ok := tab.Lookup("a"); ok {
+		t.Fatal("Lookup on empty table reported a hit")
+	}
+	// Ids assign densely in intern order.
+	for i, s := range []string{"a", "b", "c"} {
+		if id := tab.Intern(s); id != ID(i) {
+			t.Fatalf("Intern(%q) = %d, want %d", s, id, i)
+		}
+	}
+	// Re-interning is stable.
+	if id := tab.Intern("b"); id != 1 {
+		t.Fatalf("re-Intern(b) = %d, want 1", id)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tab.Len())
+	}
+	// Round trips.
+	for i, want := range []string{"a", "b", "c"} {
+		if got := tab.String(ID(i)); got != want {
+			t.Fatalf("String(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if got := tab.String(None); got != "" {
+		t.Fatalf("String(None) = %q, want empty", got)
+	}
+	if id, ok := tab.Lookup("c"); !ok || id != 2 {
+		t.Fatalf("Lookup(c) = %d, %v", id, ok)
+	}
+}
+
+func TestInternClonesTransientBuffers(t *testing.T) {
+	var tab Table
+	buf := []byte("device-1")
+	id := tab.Intern(string(buf))
+	// Mutate the buffer the way a reused parse buffer would be.
+	copy(buf, "XXXXXXXX")
+	if got := tab.String(id); got != "device-1" {
+		t.Fatalf("stored string aliased the caller's buffer: %q", got)
+	}
+	if got := tab.Canonical("device-1"); got != "device-1" {
+		t.Fatalf("Canonical = %q, want device-1", got)
+	}
+}
+
+func TestStringPanicsOnForeignID(t *testing.T) {
+	var tab Table
+	tab.Intern("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("String(99) did not panic")
+		}
+	}()
+	tab.String(99)
+}
+
+// TestConcurrent interleaves interning of an overlapping key set across
+// goroutines (run under -race) and checks the table ends consistent: one
+// dense id per distinct string, every id round-tripping.
+func TestConcurrent(t *testing.T) {
+	var tab Table
+	const workers, keys = 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("key-%d", (i+w)%keys)
+				id := tab.Intern(k)
+				if got := tab.String(id); got != k {
+					t.Errorf("String(Intern(%q)) = %q", k, got)
+					return
+				}
+				if got := tab.Canonical(k); got != k {
+					t.Errorf("Canonical(%q) = %q", k, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != keys {
+		t.Fatalf("Len = %d, want %d", tab.Len(), keys)
+	}
+	seen := map[ID]bool{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		id, ok := tab.Lookup(k)
+		if !ok || id < 0 || int(id) >= keys || seen[id] {
+			t.Fatalf("Lookup(%q) = %d, %v (dup or out of range)", k, id, ok)
+		}
+		seen[id] = true
+	}
+}
+
+// TestHitPathZeroAlloc guards the interning contract the hot paths build
+// on: once a symbol is in the table, Lookup, String, and Canonical are
+// read-lock-only and allocation-free.
+//
+//trips:guards Table.Lookup
+//trips:guards Table.String
+//trips:guards Table.Canonical
+func TestHitPathZeroAlloc(t *testing.T) {
+	var tab Table
+	id := tab.Intern("AA:BB:CC:DD:EE:FF")
+	if avg := testing.AllocsPerRun(1000, func() {
+		tab.Lookup("AA:BB:CC:DD:EE:FF")
+		tab.String(id)
+		tab.Canonical("AA:BB:CC:DD:EE:FF")
+	}); avg != 0 {
+		t.Errorf("intern hit path allocates %.2f times per op, want 0", avg)
+	}
+}

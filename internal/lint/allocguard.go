@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// NewAllocGuard returns the allocguard analyzer: the coverage check that
+// keeps the runtime testing.AllocsPerRun guards and the static
+// //trips:zeroalloc markers in sync. The two pin the same contract from
+// opposite sides — the guard measures one workload after the fact, the
+// marker rejects allocation-risk constructs on every path at review time —
+// and either alone decays: a marker without a guard is an unverified claim,
+// a guard without a marker lets the construct land and only fails later, on
+// one workload. The analyzer enforces the pairing:
+//
+//   - every test file that calls testing.AllocsPerRun must declare which
+//     functions its guards pin, with //trips:guards <func> directives
+//     ("func" or "Recv.method", unqualified);
+//   - every function so named must exist in the package under test and
+//     carry //trips:zeroalloc in its doc comment — deleting the marker (or
+//     renaming the function) without retiring the guard is a diagnostic.
+//
+// The loader type-checks only non-test sources, so this analyzer parses the
+// package directory's *_test.go files itself, syntax-only: directive
+// comments and AllocsPerRun call sites need no type information.
+func NewAllocGuard() *Analyzer {
+	an := &Analyzer{
+		Name: "allocguard",
+		Doc: "test files using testing.AllocsPerRun must name the guarded " +
+			"functions with //trips:guards, and every named function must " +
+			"carry //trips:zeroalloc",
+	}
+	an.Run = runAllocGuard
+	return an
+}
+
+const dirGuards = "guards"
+
+func runAllocGuard(pass *Pass) error {
+	if pass.Pkg.Dir == "" {
+		return nil
+	}
+	testFiles, err := filepath.Glob(filepath.Join(pass.Pkg.Dir, "*_test.go"))
+	if err != nil {
+		return err
+	}
+	if len(testFiles) == 0 {
+		return nil
+	}
+
+	// Index the package's function declarations: "name" for functions,
+	// "Recv.name" for methods, with their zeroalloc-marked status.
+	type declInfo struct {
+		fd     *ast.FuncDecl
+		marked bool
+	}
+	decls := map[string]declInfo{}
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			decls[funcKey(fd)] = declInfo{fd: fd, marked: zeroAllocMarked(fd)}
+		}
+	}
+
+	for _, path := range testFiles {
+		f, err := parser.ParseFile(pass.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("allocguard: parse %s: %w", path, err)
+		}
+		// Only test files of this package (internal or external test
+		// package): a sibling package's leftovers never match.
+		base := strings.TrimSuffix(f.Name.Name, "_test")
+		if base != pass.Types().Name() {
+			continue
+		}
+
+		var guards []*directive
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, dirPrefix+dirGuards)
+				if !ok {
+					continue
+				}
+				guards = append(guards, &directive{
+					name: dirGuards,
+					arg:  strings.TrimSpace(rest),
+					pos:  c.Pos(),
+				})
+			}
+		}
+
+		allocsPerRun := firstAllocsPerRunCall(f)
+		if allocsPerRun != token.NoPos && len(guards) == 0 {
+			pass.Reportf(allocsPerRun,
+				"testing.AllocsPerRun guard without a //trips:guards <func> directive in %s: declare which function the guard pins",
+				filepath.Base(path))
+		}
+		if allocsPerRun == token.NoPos && len(guards) > 0 {
+			pass.Reportf(guards[0].pos,
+				"//trips:guards in %s but no testing.AllocsPerRun call: retire the directive or restore the guard",
+				filepath.Base(path))
+		}
+
+		for _, g := range guards {
+			if g.arg == "" {
+				pass.Reportf(g.pos, "//trips:guards needs a function name: //trips:guards <func> or //trips:guards <Recv.method>")
+				continue
+			}
+			di, ok := decls[g.arg]
+			if !ok {
+				pass.Reportf(g.pos, "//trips:guards %s: no such function or method in package %s", g.arg, pass.Types().Name())
+				continue
+			}
+			if !di.marked {
+				// Report on the declaration, not the directive: the usual
+				// failure is the marker being dropped during an edit of the
+				// function, and the fix belongs there.
+				pass.Reportf(di.fd.Pos(),
+					"function %s is pinned by an AllocsPerRun guard (//trips:guards in %s) but its doc comment lacks //trips:zeroalloc",
+					g.arg, filepath.Base(path))
+			}
+		}
+	}
+	return nil
+}
+
+// funcKey renders a FuncDecl's guard name: "name" or "Recv.name" with the
+// receiver's base type identifier (pointers and generics stripped).
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return id.Name + "." + fd.Name.Name
+			}
+			return fd.Name.Name
+		}
+	}
+}
+
+// zeroAllocMarked reports whether the declaration's doc comment carries the
+// //trips:zeroalloc marker. Checked textually: the pass's directive index
+// covers only the analyzer's own package view, and consuming the directive
+// here would double-claim it against the zeroalloc analyzer.
+func zeroAllocMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == dirPrefix+dirZeroAlloc {
+			return true
+		}
+	}
+	return false
+}
+
+// firstAllocsPerRunCall returns the position of the first
+// testing.AllocsPerRun call in the file, or NoPos. Syntactic: any selector
+// named AllocsPerRun counts, which in practice only the testing package
+// provides.
+func firstAllocsPerRunCall(f *ast.File) token.Pos {
+	found := token.NoPos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AllocsPerRun" {
+			found = call.Pos()
+			return false
+		}
+		return true
+	})
+	return found
+}

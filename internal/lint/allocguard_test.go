@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllocGuard(t *testing.T) {
+	RunFixture(t, []*Analyzer{NewAllocGuard()}, false,
+		"trips/internal/gfix", "trips/internal/gfix2")
+}
+
+// TestAllocGuardMalformed checks the diagnostics that anchor on directive
+// comment lines (which the // want convention cannot annotate): a stale
+// guard with no AllocsPerRun call, an unknown function name, and a missing
+// argument.
+func TestAllocGuardMalformed(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src", "trips"), "trips/internal/gbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(prog, []*Analyzer{NewAllocGuard()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"no testing.AllocsPerRun call",
+		"no such function or method in package gbad",
+		"//trips:guards needs a function name",
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q; got %v", want, diags)
+		}
+	}
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("diag: %s", d.Message)
+		}
+		t.Errorf("got %d diagnostics, want %d", len(diags), len(wants))
+	}
+}

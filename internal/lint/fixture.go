@@ -1,6 +1,9 @@
 package lint
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -46,36 +49,52 @@ type expectation struct {
 func checkWant(t *testing.T, prog *Program, diags []Diagnostic) {
 	t.Helper()
 	wants := map[wantKey][]*expectation{}
-	for _, pkg := range prog.Pkgs {
-		for _, f := range pkg.Syntax {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					text := strings.TrimPrefix(c.Text, "//")
-					text = strings.TrimSpace(text)
-					if !strings.HasPrefix(text, "want ") {
-						continue
-					}
-					pos := prog.Fset.Position(c.Pos())
-					key := wantKey{file: pos.Filename, line: pos.Line}
+	addWants := func(filename string, comments []*ast.CommentGroup, fset *token.FileSet) {
+		for _, cg := range comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{file: filename, line: pos.Line}
 					rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
-					for rest != "" {
-						q, err := strconv.QuotedPrefix(rest)
-						if err != nil {
-							t.Fatalf("%s: bad // want comment %q: %v", pos, c.Text, err)
-						}
-						pat, err := strconv.Unquote(q)
-						if err != nil {
-							t.Fatalf("%s: bad // want string %s: %v", pos, q, err)
-						}
-						re, err := regexp.Compile(pat)
-						if err != nil {
-							t.Fatalf("%s: bad // want regexp %q: %v", pos, pat, err)
-						}
-						wants[key] = append(wants[key], &expectation{re: re})
-						rest = strings.TrimSpace(rest[len(q):])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: bad // want comment %q: %v", filename, c.Text, err)
 					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad // want string %s: %v", filename, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad // want regexp %q: %v", filename, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
 				}
 			}
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		for i, f := range pkg.Syntax {
+			addWants(pkg.Files[i], f.Comments, prog.Fset)
+		}
+		// Fixture *_test.go files are invisible to the loader, but the
+		// allocguard analyzer parses and reports into them; collect their
+		// expectations too (positions key on filename+line, so a private
+		// FileSet works).
+		testFiles, _ := filepath.Glob(filepath.Join(pkg.Dir, "*_test.go"))
+		for _, path := range testFiles {
+			tfset := token.NewFileSet()
+			f, err := parser.ParseFile(tfset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing fixture test file %s: %v", path, err)
+			}
+			addWants(path, f.Comments, tfset)
 		}
 	}
 

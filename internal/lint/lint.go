@@ -14,7 +14,7 @@
 //
 // # Directives
 //
-// Three comment directives thread justification through the source:
+// Four comment directives thread justification through the source:
 //
 //	//trips:commutative <reason>   — on (or directly above) a range-over-map
 //	                                 statement in a determinism-critical
@@ -24,6 +24,11 @@
 //	//trips:zeroalloc              — in a function's doc comment: opts the
 //	                                 function into the zeroalloc analyzer's
 //	                                 allocation-construct scan.
+//	//trips:guards <func>          — in a _test.go file that calls
+//	                                 testing.AllocsPerRun: names the function
+//	                                 ("func" or "Recv.method") the guard pins;
+//	                                 the allocguard analyzer requires the
+//	                                 named function to carry //trips:zeroalloc.
 //	//trips:allow <analyzer>: <reason> — site-level suppression for the other
 //	                                 analyzers (wallclock, atomicfield,
 //	                                 ctxvalue).
@@ -60,6 +65,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NewMapIter(),
 		NewZeroAlloc(),
+		NewAllocGuard(),
 		NewWallClock(),
 		NewAtomicField(),
 		NewCtxValue(),
@@ -297,6 +303,14 @@ func (idx *directiveIndex) validate(report func(Diagnostic)) {
 			}
 		case dirZeroAlloc:
 			// no argument
+		case dirGuards:
+			// The loader only sees non-test sources, so any guards
+			// directive reaching this index is misplaced: it belongs in a
+			// _test.go file next to the AllocsPerRun call it annotates
+			// (where the allocguard analyzer reads it).
+			report(Diagnostic{Pos: d.pos, Analyzer: "directive",
+				Message: "//trips:guards belongs in a _test.go file next to its testing.AllocsPerRun call"})
+			continue
 		case dirAllow:
 			if !known[d.allowFor] || d.allowReason == "" {
 				report(Diagnostic{Pos: d.pos, Analyzer: "directive",

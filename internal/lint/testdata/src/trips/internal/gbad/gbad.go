@@ -1,0 +1,11 @@
+// Package gbad is the allocguard fixture for malformed guard declarations:
+// a stale directive (no AllocsPerRun call left), a name that resolves to
+// nothing, and a directive missing its argument. Checked by direct
+// assertion in allocguard_test.go — the diagnostics anchor on comment
+// lines, which the // want convention cannot annotate.
+package gbad
+
+// Real exists so one directive has a valid target to contrast with.
+//
+//trips:zeroalloc
+func Real() int { return 0 }

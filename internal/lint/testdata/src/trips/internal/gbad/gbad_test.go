@@ -1,0 +1,12 @@
+package gbad
+
+import "testing"
+
+//trips:guards Real
+//trips:guards NoSuch
+//trips:guards
+func TestNothingMeasured(t *testing.T) {
+	Real()
+}
+
+var _ = testing.Short

@@ -1,0 +1,28 @@
+// Package gfix is the allocguard fixture: functions pinned by AllocsPerRun
+// guards in gfix_test.go, one with its //trips:zeroalloc marker intact and
+// one that lost it.
+package gfix
+
+// Pinned is guarded and marked: in sync.
+//
+//trips:zeroalloc
+func Pinned(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Dropped is guarded but its marker was deleted.
+func Dropped(xs []int) int { // want `function Dropped is pinned by an AllocsPerRun guard .* lacks //trips:zeroalloc`
+	return len(xs)
+}
+
+// T carries the method-form guard target.
+type T struct{ n int }
+
+// Hit is guarded as T.Hit and marked: in sync.
+//
+//trips:zeroalloc
+func (t *T) Hit() int { return t.n }

@@ -1,0 +1,17 @@
+package gfix
+
+import "testing"
+
+//trips:guards Pinned
+//trips:guards Dropped
+//trips:guards T.Hit
+func TestZeroAllocGuards(t *testing.T) {
+	var tt T
+	if avg := testing.AllocsPerRun(10, func() {
+		Pinned(nil)
+		Dropped(nil)
+		tt.Hit()
+	}); avg != 0 {
+		t.Errorf("allocates %.1f times, want 0", avg)
+	}
+}

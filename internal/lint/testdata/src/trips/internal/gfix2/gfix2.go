@@ -1,0 +1,7 @@
+// Package gfix2 is the allocguard fixture for an unannotated guard file: a
+// test calls testing.AllocsPerRun without declaring what it pins.
+package gfix2
+
+// Fast is measured by the guard but never named by a //trips:guards
+// directive, so nothing ties marker and guard together.
+func Fast() int { return 1 }

@@ -1,0 +1,11 @@
+package gfix2
+
+import "testing"
+
+func TestFastZeroAlloc(t *testing.T) {
+	if avg := testing.AllocsPerRun(10, func() { // want `testing.AllocsPerRun guard without a //trips:guards <func> directive`
+		Fast()
+	}); avg != 0 {
+		t.Errorf("allocates %.1f times, want 0", avg)
+	}
+}

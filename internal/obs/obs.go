@@ -44,6 +44,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//trips:zeroalloc
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -52,6 +54,8 @@ func (c *Counter) Inc() {
 
 // Add adds n (negative deltas are a programming error; Prometheus counters
 // only go up, and rendering does not re-check).
+//
+//trips:zeroalloc
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -73,6 +77,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//trips:zeroalloc
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -192,6 +198,8 @@ func newHistogram(bounds []time.Duration) *Histogram {
 
 // Observe counts one duration. Negative observations clamp to zero (clock
 // adjustments mid-measurement).
+//
+//trips:zeroalloc
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return

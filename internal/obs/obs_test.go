@@ -120,6 +120,11 @@ func TestHistogramQuantilesMonotone(t *testing.T) {
 // TestWriteSideZeroAlloc guards the hot-path contract: observing and
 // counting must not allocate (the ingest route's AllocsPerRun test depends
 // on it).
+//
+//trips:guards Counter.Inc
+//trips:guards Counter.Add
+//trips:guards Gauge.Set
+//trips:guards Histogram.Observe
 func TestWriteSideZeroAlloc(t *testing.T) {
 	_, c, g, h := testRegistry(t)
 	if avg := testing.AllocsPerRun(1000, func() {

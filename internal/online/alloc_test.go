@@ -36,6 +36,10 @@ func TestShardOfMatchesFNV(t *testing.T) {
 // shard-side handling is deterministic O(1) work; admitted records
 // additionally pay (amortized) tail growth, which is the session's cost,
 // not the route's.
+//
+//trips:guards Engine.Ingest
+//trips:guards Engine.IngestTraced
+//trips:guards Engine.shardOf
 func TestIngestRouteZeroAlloc(t *testing.T) {
 	pl := testPipeline(t)
 	g := lcg(3)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"trips/internal/annotation"
+	"trips/internal/intern"
 	"trips/internal/obs/trace"
 	"trips/internal/position"
 	"trips/internal/semantics"
@@ -36,6 +37,12 @@ type Engine struct {
 	anTail    annotation.Annotator // head-merge-suppressed copy for trimmed tails
 	tracer    *trace.Tracer        // nil disables span recording
 
+	// devs interns device ids engine-wide: sessions key their shard map by
+	// the dense id (integer hash and compare on every record) and per-device
+	// state can live in flat slices. Strings survive on the session for the
+	// API/serialization boundaries.
+	devs intern.Table
+
 	shards []*shard
 	wg     sync.WaitGroup
 	mu     sync.RWMutex
@@ -48,11 +55,13 @@ type Engine struct {
 }
 
 // shard owns a subset of devices; its single goroutine serializes every
-// session mutation, so per-device ordering is free.
+// session mutation, so per-device ordering is free. Sessions are keyed by
+// the engine-wide interned device id: the per-record map probe hashes an
+// int32 instead of the id string.
 type shard struct {
 	id       int
 	ch       chan shardMsg
-	sessions map[position.DeviceID]*session
+	sessions map[intern.ID]*session
 }
 
 // shardMsg is the shard inbox protocol, discriminated by kind. Records
@@ -119,7 +128,7 @@ func NewEngine(pl Pipeline, cfg Config) (*Engine, error) {
 		e.shards[i] = &shard{
 			id:       i,
 			ch:       make(chan shardMsg, cfg.QueueLen),
-			sessions: make(map[position.DeviceID]*session),
+			sessions: make(map[intern.ID]*session),
 		}
 		e.wg.Add(1)
 		go e.runShard(e.shards[i])
@@ -372,7 +381,7 @@ func (e *Engine) runShard(sh *shard) {
 		case <-tick:
 			now := e.now()
 			//trips:commutative sessions are per-device; flush and idle expiry are per-device decisions
-			for dev, ss := range sh.sessions {
+			for id, ss := range sh.sessions {
 				if ss.pending > 0 {
 					ss.flush(e, false)
 				}
@@ -384,13 +393,15 @@ func (e *Engine) runShard(sh *shard) {
 					}
 					// Evict the quiescent session so churning device IDs
 					// (MAC randomization) don't grow the map forever. A
-					// returning device starts a fresh epoch.
-					delete(sh.sessions, dev)
+					// returning device starts a fresh epoch. (The intern
+					// table keeps the id: it is the engine-wide identity,
+					// not per-session state.)
+					delete(sh.sessions, id)
 					// The eviction is positive evidence the device is gone;
 					// tell a finalizer-aware sink (the analytics tee uses it
 					// to decay occupancy) after the final triplets emitted.
 					if f, ok := e.emitter.(SessionFinalizer); ok && !ss.sealedThrough.IsZero() {
-						f.FinalizeSession(dev, ss.sealedThrough)
+						f.FinalizeSession(ss.dev, ss.sealedThrough)
 					}
 				}
 			}
@@ -399,11 +410,12 @@ func (e *Engine) runShard(sh *shard) {
 }
 
 func (sh *shard) ingest(e *Engine, r position.Record, tc trace.Ctx) {
-	ss := sh.sessions[r.Device]
+	id := e.devs.Intern(string(r.Device))
+	ss := sh.sessions[id]
 	if ss == nil {
 		ss = newSession(r.Device)
 		ss.lastArrival = e.now()
-		sh.sessions[r.Device] = ss
+		sh.sessions[id] = ss
 		e.stats.Sessions.Add(1)
 	}
 	outcome := ss.ingest(e, r)
@@ -470,7 +482,7 @@ func (sh *shard) traceAdmit(e *Engine, ss *session, tc trace.Ctx, outcome admit)
 }
 
 func (sh *shard) snapshot(e *Engine, dev position.DeviceID) Snapshot {
-	ss := sh.sessions[dev]
+	ss := sh.lookup(e, dev)
 	if ss == nil {
 		return Snapshot{}
 	}
@@ -534,8 +546,18 @@ func (e *Engine) Lineage(dev position.DeviceID) (Lineage, bool) {
 	return l, l.Device != ""
 }
 
+// lookup resolves a device's live session without growing the intern table:
+// a query for a never-seen device must stay a miss, not mint an id.
+func (sh *shard) lookup(e *Engine, dev position.DeviceID) *session {
+	id, ok := e.devs.Lookup(string(dev))
+	if !ok {
+		return nil
+	}
+	return sh.sessions[id]
+}
+
 func (sh *shard) lineage(e *Engine, dev position.DeviceID) Lineage {
-	ss := sh.sessions[dev]
+	ss := sh.lookup(e, dev)
 	if ss == nil {
 		return Lineage{}
 	}

@@ -206,13 +206,17 @@ func (ss *session) translateTail(e *Engine, st *stageStamps) (cleaning.Report, *
 		//trips:allow wallclock: stage latency stamp, operational telemetry
 		st.start = time.Now()
 	}
+	// The online path never reads Report.Changes — it queries per-index
+	// repairs through State.Repaired — so suppress the merged change-list
+	// assembly, which costs O(total repairs) per flush.
+	ss.clean.NoChanges = true
 	cleaned, rep := e.pl.Cleaner.CleanFrom(&ss.clean, ss.tail, ss.admissionFloor(e))
 	if st != nil {
 		//trips:allow wallclock: stage latency stamp, operational telemetry
 		st.afterClean = time.Now()
 	}
-	if ss.ann == nil {
-		ss.ann = e.annotatorFor(ss).NewIncremental()
+	if a := e.annotatorFor(ss); ss.ann == nil || !ss.ann.BoundTo(a) {
+		ss.ann = a.NewIncremental()
 	}
 	sem := ss.ann.Annotate(cleaned, ss.clean.StableSince())
 	if st != nil {
@@ -227,7 +231,13 @@ func (ss *session) translateTail(e *Engine, st *stageStamps) (cleaning.Report, *
 // change, because the caches are keyed by record index into the tail.
 func (ss *session) resetTranslation() {
 	ss.clean.Reset()
-	ss.ann = nil
+	if ss.ann != nil {
+		// Keep the annotator cache's buffers across tail epochs; Reset makes
+		// the next Annotate a full recompute over the new record indexes.
+		// translateTail still swaps the cache out wholesale when the session
+		// graduates to the trimmed-tail annotator variant.
+		ss.ann.Reset()
+	}
 }
 
 // restartTail begins a new tail epoch: consumed records leave the tail
@@ -289,9 +299,9 @@ func (ss *session) flush(e *Engine, sealAll bool) {
 
 	// Trailing invalid run: cleaned values there still depend on a future
 	// anchor, so triplets touching it cannot seal.
-	invalid := invalidIndexes(rep)
+	invalid := ss.invalidView(e, rep)
 	unstable := ss.tail.Len()
-	for unstable > 0 && invalid[unstable-1] {
+	for unstable > 0 && invalid.has(unstable-1) {
 		unstable--
 	}
 
@@ -414,7 +424,7 @@ func (ss *session) emit(e *Engine, t semantics.Triplet, watermark time.Time) {
 // A tail beyond MaxTail is force-trimmed at the seal boundary regardless,
 // and when there is no seal boundary at all it is force-sealed at the
 // horizon.
-func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int]bool) {
+func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid invalidView) {
 	if ss.emittedInTail == 0 {
 		// No triplet has sealed from this tail, so there is no trim
 		// boundary — the case of a stationary device dwelling in one
@@ -440,7 +450,7 @@ func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int
 		return
 	}
 	gap := ss.tail.Records[b].At.Sub(ss.tail.Records[b-1].At)
-	hard := gap > e.horizon && !invalid[b]
+	hard := gap > e.horizon && !invalid.has(b)
 	forced := e.cfg.MaxTail > 0 && ss.tail.Len() > e.cfg.MaxTail
 	if !hard && !forced {
 		return
@@ -450,8 +460,10 @@ func (ss *session) maybeTrim(e *Engine, sem *semantics.Sequence, invalid map[int
 	} else {
 		e.stats.ForcedTrims.Add(1)
 	}
-	rest := make([]position.Record, ss.tail.Len()-b)
-	copy(rest, ss.tail.Records[b:])
+	// Slide the surviving suffix to the front of the same backing array:
+	// the record values are identical and every index-keyed cache resets
+	// with the epoch, so no fresh allocation is needed.
+	rest := ss.tail.Records[:copy(ss.tail.Records, ss.tail.Records[b:])]
 	ss.restartTail(rest, b)
 }
 
@@ -492,8 +504,7 @@ func (ss *session) forceSeal(e *Engine, sem *semantics.Sequence) {
 		}
 		ss.emit(e, t, watermark)
 	}
-	rest := make([]position.Record, ss.tail.Len()-cut)
-	copy(rest, ss.tail.Records[cut:])
+	rest := ss.tail.Records[:copy(ss.tail.Records, ss.tail.Records[cut:])]
 	ss.restartTail(rest, cut)
 	e.stats.ForcedSeals.Add(1)
 	if e.tracer != nil && ss.emitTC.Sampled() {
@@ -536,4 +547,28 @@ func invalidIndexes(rep cleaning.Report) map[int]bool {
 		}
 	}
 	return out
+}
+
+// invalidView answers "was record i floor-fixed or interpolated?" for one
+// flush without materializing a per-flush map: the incremental path reads
+// the cleaning State's repaired column directly; the differential-shadow
+// path (fullRecompute, batch Clean with a materialized report) falls back
+// to the map.
+type invalidView struct {
+	m  map[int]bool
+	st *cleaning.State
+}
+
+func (v invalidView) has(i int) bool {
+	if v.st != nil {
+		return v.st.Repaired(i)
+	}
+	return v.m[i]
+}
+
+func (ss *session) invalidView(e *Engine, rep cleaning.Report) invalidView {
+	if e.cfg.fullRecompute {
+		return invalidView{m: invalidIndexes(rep)}
+	}
+	return invalidView{st: &ss.clean}
 }

@@ -1,0 +1,50 @@
+package position
+
+import (
+	"time"
+
+	"trips/internal/dsm"
+	"trips/internal/geom"
+)
+
+// Columns is a struct-of-arrays projection of a record run. The per-record
+// scans of the translation pipeline — density neighborhoods, cut detection —
+// read one or two fields per record; scanning them as parallel columns pulls
+// a fraction of the memory through the cache that the full Record rows
+// (device string included) would, and the incremental annotator keeps one
+// Columns synced with its growing tail so the projection is paid only for
+// the new suffix.
+type Columns struct {
+	At    []time.Time
+	Floor []dsm.FloorID
+	P     []geom.Point
+}
+
+// Sync resizes the columns to recs and rewrites entries [from:], keeping the
+// prefix — the incremental form for a tail whose records below from are
+// unchanged since the last call. Sync(recs, 0) projects from scratch.
+func (c *Columns) Sync(recs []Record, from int) {
+	n := len(recs)
+	c.At = growCol(c.At, n)
+	c.Floor = growCol(c.Floor, n)
+	c.P = growCol(c.P, n)
+	for i := from; i < n; i++ {
+		r := &recs[i]
+		c.At[i], c.Floor[i], c.P[i] = r.At, r.Floor, r.P
+	}
+}
+
+// Len returns the number of projected records.
+func (c *Columns) Len() int { return len(c.At) }
+
+// growCol resizes buf to n entries, keeping existing values. Growth doubles
+// capacity: a session tail grows by a few records per flush, and exact-size
+// growth would reallocate-and-copy every column on every flush.
+func growCol[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		grown := make([]T, n, 2*n)
+		copy(grown, buf)
+		return grown
+	}
+	return buf[:n]
+}

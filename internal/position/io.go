@@ -14,6 +14,7 @@ import (
 
 	"trips/internal/dsm"
 	"trips/internal/geom"
+	"trips/internal/intern"
 )
 
 // The Data Selector "accepts the indoor positioning data from multi-sources
@@ -75,6 +76,9 @@ func StreamCSV(r io.Reader, fn func(Record) error) (int, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 5
 	cr.ReuseRecord = true // parseCSVRow copies what it keeps
+	// Device ids repeat on almost every row; interning them shares one
+	// string allocation per distinct device instead of one per record.
+	var devs intern.Table
 	n, row := 0, 0
 	for {
 		rec, err := cr.Read()
@@ -88,7 +92,7 @@ func StreamCSV(r io.Reader, fn func(Record) error) (int, error) {
 		if row == 1 && !isNumeric(rec[1]) {
 			continue // header
 		}
-		pr, err := parseCSVRow(rec)
+		pr, err := parseCSVRow(rec, &devs)
 		if err != nil {
 			return n, fmt.Errorf("position: csv row %d: %w", row, err)
 		}
@@ -132,7 +136,7 @@ func parseCoord(axis, s string) (float64, error) {
 	return v, nil
 }
 
-func parseCSVRow(rec []string) (Record, error) {
+func parseCSVRow(rec []string, devs *intern.Table) (Record, error) {
 	x, err := parseCoord("x", rec[1])
 	if err != nil {
 		return Record{}, err
@@ -150,7 +154,7 @@ func parseCSVRow(rec []string) (Record, error) {
 		return Record{}, err
 	}
 	return Record{
-		Device: DeviceID(strings.TrimSpace(rec[0])),
+		Device: DeviceID(devs.Canonical(strings.TrimSpace(rec[0]))),
 		P:      geom.Pt(x, y),
 		Floor:  f,
 		At:     at,
@@ -199,6 +203,8 @@ type jsonRecord struct {
 func StreamJSONL(r io.Reader, fn func(Record) error) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	// See StreamCSV: one device-string allocation per distinct device.
+	var devs intern.Table
 	n, line := 0, 0
 	for sc.Scan() {
 		line++
@@ -223,7 +229,7 @@ func StreamJSONL(r io.Reader, fn func(Record) error) (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("position: jsonl line %d: %w", line, err)
 		}
-		if err := fn(Record{Device: DeviceID(jr.Device), P: geom.Pt(jr.X, jr.Y), Floor: f, At: at}); err != nil {
+		if err := fn(Record{Device: DeviceID(devs.Canonical(jr.Device)), P: geom.Pt(jr.X, jr.Y), Floor: f, At: at}); err != nil {
 			return n, fmt.Errorf("position: jsonl line %d: %w", line, err)
 		}
 		n++
